@@ -1,0 +1,229 @@
+(* The benchmark harness.
+
+   Two layers, both in this executable:
+
+   1. Bechamel micro-benchmarks — one per figure of the paper's
+      evaluation, timing the computational kernel that the figure's
+      experiment stresses (tree planning for Fig 17, TS-list merging for
+      Figs 9/10, the routing decision for Fig 12, ...).
+
+   2. The figure-regeneration experiments themselves
+      (Mortar_experiments) — every table and figure of the evaluation
+      section, printed as text tables. Quick mode (the default here) uses
+      scaled-down configurations; pass `--full` for paper-scale runs.
+
+   Usage:
+     dune exec bench/main.exe                # micro + quick experiments
+     dune exec bench/main.exe -- --micro     # micro-benchmarks only
+     dune exec bench/main.exe -- --figures   # quick experiments only
+     dune exec bench/main.exe -- --full      # micro + full-scale experiments
+*)
+
+open Bechamel
+open Toolkit
+
+module Rng = Mortar_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Kernel fixtures, built once. *)
+
+let fixture_trees =
+  lazy
+    (let rng = Rng.create 1 in
+     let nodes = Array.init 999 (fun i -> i + 1) in
+     Array.init 4 (fun _ -> Mortar_overlay.Builder.random_tree rng ~bf:32 ~root:0 ~nodes))
+
+let fixture_coords =
+  lazy
+    (let rng = Rng.create 2 in
+     Array.init 179 (fun _ ->
+         [| Rng.uniform rng 0.0 0.1; Rng.uniform rng 0.0 0.1; Rng.uniform rng 0.0 0.1 |]))
+
+let fixture_treeset =
+  lazy
+    (let rng = Rng.create 3 in
+     let nodes = Array.init 679 (fun i -> i + 1) in
+     Mortar_overlay.Treeset.random rng ~bf:16 ~d:4 ~root:0 ~nodes)
+
+let fixture_view = lazy (Mortar_core.Query.view_of_treeset (Lazy.force fixture_treeset) 77)
+
+let fixture_routing_state =
+  lazy
+    (let st =
+       Mortar_dht.Routing_state.create ~self:(Mortar_dht.Node_id.hash_host 0) ~leaf_radius:8
+     in
+     for h = 1 to 679 do
+       Mortar_dht.Routing_state.add st (Mortar_dht.Node_id.hash_host h)
+     done;
+     st)
+
+let fixture_frames =
+  lazy
+    (let rng = Rng.create 4 in
+     List.init 40 (fun i ->
+         Mortar_core.Value.Record
+           [
+             ("x", Mortar_core.Value.Float (float_of_int i));
+             ("y", Mortar_core.Value.Float (float_of_int (i * 2)));
+             ("rssi", Mortar_core.Value.Float (-40.0 -. Rng.float rng 50.0));
+           ]))
+
+let fixture_msl =
+  {|
+loud = select(stream("frames"), mac == "target" && rssi > -90.0)
+top3 = topk(loud, k=3, key="rssi") window time 1s 1s
+agg  = sum(stream("cpu")) window time 5s 1s mode syncless
+|}
+
+(* ------------------------------------------------------------------ *)
+(* One kernel per figure. *)
+
+let bench_fig01_connectivity_trial () =
+  let trees = Lazy.force fixture_trees in
+  let rng = Rng.create 99 in
+  Staged.stage (fun () ->
+      ignore
+        (Mortar_overlay.Connectivity.completeness rng ~trees ~link_failure:0.2
+           (Mortar_overlay.Connectivity.Dynamic_striping 4)))
+
+let bench_fig09_ts_list_round () =
+  let op = Mortar_core.Op.compile Mortar_core.Op.Sum in
+  Staged.stage (fun () ->
+      (* The syncless data path: 64 summary inserts into exact-match slots
+         followed by eviction — one window's work at a bf-64 node. *)
+      let ts = Mortar_core.Ts_list.create ~op () in
+      for i = 0 to 63 do
+        let index = Mortar_core.Index.of_slot ~slide:1.0 (i mod 4) in
+        Mortar_core.Ts_list.insert ts ~now:0.0 ~deadline:1.0
+          (Mortar_core.Summary.make ~index ~value:(Mortar_core.Value.Float 1.0) ~count:1 ())
+      done;
+      ignore (Mortar_core.Ts_list.force_pop ts ~now:2.0))
+
+let bench_fig10_syncless_reindex () =
+  Staged.stage (fun () ->
+      (* Fig 7's arrival rule: index = (t_ref - age) / slide. *)
+      let acc = ref 0 in
+      for i = 0 to 999 do
+        acc := !acc + Mortar_core.Index.slot ~slide:5.0 (1000.0 -. (float_of_int i *. 0.37))
+      done;
+      ignore !acc)
+
+let bench_fig11_chunk_plan () =
+  let ts = Lazy.force fixture_treeset in
+  Staged.stage (fun () -> ignore (Mortar_core.Query.chunk_plan ts ~chunks:16))
+
+let bench_fig12_routing_decision () =
+  let view = Lazy.force fixture_view in
+  let rng = Rng.create 5 in
+  let visited = Mortar_core.Routing.initial_visited view in
+  Staged.stage (fun () ->
+      ignore
+        (Mortar_core.Routing.route ~view
+           ~alive:(fun n -> n mod 7 <> 0)
+           ~rng ~visited ~arrival_tree:0 ~ttl_down:0 ()))
+
+let bench_fig13_unique_children () =
+  let ts = Lazy.force fixture_treeset in
+  Staged.stage (fun () -> ignore (Mortar_overlay.Treeset.unique_children ts 17))
+
+let bench_fig14_merge_fold () =
+  let op = Mortar_core.Op.compile Mortar_core.Op.Sum in
+  Staged.stage (fun () ->
+      (* Merging one window's 680 partials at the root. *)
+      let acc = ref op.Mortar_core.Op.init in
+      for _ = 1 to 680 do
+        acc := op.Mortar_core.Op.merge !acc (Mortar_core.Value.Float 1.0)
+      done;
+      ignore (op.Mortar_core.Op.finalize !acc))
+
+let bench_fig15_engine_round () =
+  Staged.stage (fun () ->
+      let e = Mortar_sim.Engine.create () in
+      for i = 1 to 100 do
+        ignore (Mortar_sim.Engine.schedule e ~after:(float_of_int i *. 0.001) (fun () -> ()))
+      done;
+      Mortar_sim.Engine.run e)
+
+let bench_fig16_dht_next_hop () =
+  let st = Lazy.force fixture_routing_state in
+  let key = Mortar_dht.Node_id.hash_name "peer-count" in
+  Staged.stage (fun () -> ignore (Mortar_dht.Routing_state.next_hop st key))
+
+let bench_fig17_plan_primary () =
+  let coords = Lazy.force fixture_coords in
+  let rng = Rng.create 6 in
+  let nodes = Array.init 178 (fun i -> i + 1) in
+  Staged.stage (fun () ->
+      ignore (Mortar_overlay.Builder.plan_primary rng ~coords ~bf:16 ~root:0 ~nodes))
+
+let bench_fig17_sibling_shuffle () =
+  let coords = Lazy.force fixture_coords in
+  let rng = Rng.create 7 in
+  let nodes = Array.init 178 (fun i -> i + 1) in
+  let primary = Mortar_overlay.Builder.plan_primary rng ~coords ~bf:16 ~root:0 ~nodes in
+  Staged.stage (fun () ->
+      ignore (Mortar_overlay.Sibling.derive_cluster_shuffle rng ~bf:16 primary))
+
+let bench_fig18_trilat () =
+  Mortar_wifi.Wifi.register_trilat ();
+  let impl = Mortar_core.Op.compile (Mortar_core.Op.Custom { name = "trilat"; args = [] }) in
+  let frames = Lazy.force fixture_frames in
+  Staged.stage (fun () ->
+      let acc =
+        List.fold_left
+          (fun acc f -> impl.Mortar_core.Op.merge acc (impl.Mortar_core.Op.lift f))
+          impl.Mortar_core.Op.init frames
+      in
+      ignore (impl.Mortar_core.Op.finalize acc))
+
+let bench_msl_parse () =
+  Staged.stage (fun () -> ignore (Mortar_core.Msl.parse fixture_msl))
+
+let tests =
+  [
+    Test.make ~name:"fig01:connectivity-trial" (bench_fig01_connectivity_trial ());
+    Test.make ~name:"fig09:ts-list-window-round" (bench_fig09_ts_list_round ());
+    Test.make ~name:"fig10:syncless-reindex-x1000" (bench_fig10_syncless_reindex ());
+    Test.make ~name:"fig11:chunk-plan-680" (bench_fig11_chunk_plan ());
+    Test.make ~name:"fig12:routing-decision" (bench_fig12_routing_decision ());
+    Test.make ~name:"fig13:unique-children" (bench_fig13_unique_children ());
+    Test.make ~name:"fig14:merge-fold-680" (bench_fig14_merge_fold ());
+    Test.make ~name:"fig15:engine-100-events" (bench_fig15_engine_round ());
+    Test.make ~name:"fig16:dht-next-hop" (bench_fig16_dht_next_hop ());
+    Test.make ~name:"fig17:plan-primary-179" (bench_fig17_plan_primary ());
+    Test.make ~name:"fig17:sibling-shuffle-179" (bench_fig17_sibling_shuffle ());
+    Test.make ~name:"fig18:trilat-40-frames" (bench_fig18_trilat ());
+    Test.make ~name:"msl:parse-3-statements" (bench_msl_parse ());
+  ]
+
+let run_micro () =
+  print_endline "=== micro-benchmarks (ns per kernel run) ===";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> Printf.printf "%-32s %14.1f ns\n%!" name ns
+          | _ -> Printf.printf "%-32s (no estimate)\n%!" name)
+        analysis)
+    tests
+
+let run_figures ~quick =
+  Printf.printf "\n=== figure regeneration (%s mode) ===\n"
+    (if quick then "quick" else "full");
+  Mortar_experiments.Registry.ensure ();
+  Mortar_experiments.Common.run_all ~quick
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let micro_only = has "--micro" in
+  let figures_only = has "--figures" in
+  let full = has "--full" in
+  if not figures_only then run_micro ();
+  if not micro_only then run_figures ~quick:(not full)

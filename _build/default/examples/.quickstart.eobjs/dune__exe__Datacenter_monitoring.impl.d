@@ -1,0 +1,1 @@
+examples/datacenter_monitoring.ml: Array List Mortar_core Mortar_emul Mortar_net Mortar_overlay Mortar_util Printf

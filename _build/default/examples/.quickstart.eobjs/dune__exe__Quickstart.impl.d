@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Mortar_core Mortar_emul Mortar_net Mortar_util Printf

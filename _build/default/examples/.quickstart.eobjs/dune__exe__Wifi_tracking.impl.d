@@ -1,0 +1,1 @@
+examples/wifi_tracking.ml: Array List Mortar_core Mortar_emul Mortar_net Mortar_overlay Mortar_util Mortar_wifi Printf

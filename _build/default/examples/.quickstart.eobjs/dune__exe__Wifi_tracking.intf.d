@@ -1,0 +1,1 @@
+examples/wifi_tracking.mli:

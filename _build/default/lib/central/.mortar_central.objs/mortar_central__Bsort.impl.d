@@ -1,0 +1,1 @@
+lib/central/bsort.ml: Float List Mortar_util

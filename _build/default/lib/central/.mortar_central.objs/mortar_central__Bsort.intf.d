@@ -1,0 +1,1 @@
+lib/central/bsort.mli:

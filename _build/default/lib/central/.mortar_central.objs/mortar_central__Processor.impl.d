@@ -1,0 +1,1 @@
+lib/central/processor.ml: Bsort Hashtbl List Mortar_core

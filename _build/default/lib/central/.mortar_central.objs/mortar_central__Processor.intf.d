@@ -1,0 +1,1 @@
+lib/central/processor.mli: Mortar_core

@@ -1,0 +1,35 @@
+type 'a entry = { ts : float; seq : int; payload : 'a }
+
+type 'a t = {
+  capacity : int;
+  heap : 'a entry Mortar_util.Heap.t;
+  mutable next_seq : int;
+}
+
+let compare_entry a b =
+  let c = Float.compare a.ts b.ts in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ~capacity =
+  assert (capacity > 0);
+  { capacity; heap = Mortar_util.Heap.create ~cmp:compare_entry; next_seq = 0 }
+
+let push t ~ts payload =
+  let entry = { ts; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  Mortar_util.Heap.push t.heap entry;
+  if Mortar_util.Heap.length t.heap > t.capacity then begin
+    let out = Mortar_util.Heap.pop_exn t.heap in
+    Some (out.ts, out.payload)
+  end
+  else None
+
+let flush t =
+  let rec drain acc =
+    match Mortar_util.Heap.pop t.heap with
+    | None -> List.rev acc
+    | Some e -> drain ((e.ts, e.payload) :: acc)
+  in
+  drain []
+
+let length t = Mortar_util.Heap.length t.heap

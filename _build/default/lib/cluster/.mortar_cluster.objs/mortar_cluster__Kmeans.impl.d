@@ -1,0 +1,1 @@
+lib/cluster/kmeans.ml: Array List Mortar_util

@@ -1,0 +1,1 @@
+lib/cluster/kmeans.mli: Mortar_util

@@ -1,0 +1,1 @@
+lib/cluster/xmeans.ml: Array Float Kmeans List Mortar_util

@@ -1,0 +1,1 @@
+lib/cluster/xmeans.mli: Kmeans Mortar_util

@@ -1,0 +1,143 @@
+module Vec = Mortar_util.Vec
+module Rng = Mortar_util.Rng
+
+type result = {
+  centroids : Vec.t array;
+  assignment : int array;
+  inertia : float;
+}
+
+(* k-means++ : choose the first centroid uniformly, then each next centroid
+   with probability proportional to squared distance from the nearest chosen
+   centroid. *)
+let seed_plus_plus rng ~k points =
+  let n = Array.length points in
+  let chosen = Array.make k points.(0) in
+  chosen.(0) <- points.(Rng.int rng n);
+  let d2 = Array.map (fun p -> Vec.dist_sq p chosen.(0)) points in
+  for c = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let next =
+      if total <= 0.0 then Rng.int rng n
+      else begin
+        let target = Rng.float rng total in
+        let acc = ref 0.0 and idx = ref (n - 1) in
+        (try
+           for i = 0 to n - 1 do
+             acc := !acc +. d2.(i);
+             if !acc >= target then begin
+               idx := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !idx
+      end
+    in
+    chosen.(c) <- points.(next);
+    Array.iteri
+      (fun i p ->
+        let d = Vec.dist_sq p chosen.(c) in
+        if d < d2.(i) then d2.(i) <- d)
+      points
+  done;
+  chosen
+
+let nearest centroids p =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i c ->
+      let d = Vec.dist_sq p c in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    centroids;
+  (!best, !best_d)
+
+let cluster rng ~k ?(max_iter = 50) points =
+  assert (k >= 1);
+  let n = Array.length points in
+  if n = 0 then { centroids = [||]; assignment = [||]; inertia = 0.0 }
+  else if k >= n then
+    {
+      centroids = Array.copy points;
+      assignment = Array.init n (fun i -> i);
+      inertia = 0.0;
+    }
+  else begin
+    let centroids = seed_plus_plus rng ~k points in
+    let assignment = Array.make n (-1) in
+    let dim = Vec.dim points.(0) in
+    let changed = ref true in
+    let iters = ref 0 in
+    while !changed && !iters < max_iter do
+      incr iters;
+      changed := false;
+      (* Assignment step. *)
+      Array.iteri
+        (fun i p ->
+          let c, _ = nearest centroids p in
+          if c <> assignment.(i) then begin
+            assignment.(i) <- c;
+            changed := true
+          end)
+        points;
+      (* Update step. *)
+      let sums = Array.init k (fun _ -> Vec.zero dim) in
+      let counts = Array.make k 0 in
+      Array.iteri
+        (fun i p ->
+          let c = assignment.(i) in
+          sums.(c) <- Vec.add sums.(c) p;
+          counts.(c) <- counts.(c) + 1)
+        points;
+      Array.iteri
+        (fun c count ->
+          if count > 0 then centroids.(c) <- Vec.scale (1.0 /. float_of_int count) sums.(c)
+          else begin
+            (* Re-seed an empty cluster on the point farthest from its
+               centroid, the standard fix-up. *)
+            let far = ref 0 and far_d = ref neg_infinity in
+            Array.iteri
+              (fun i p ->
+                let d = Vec.dist_sq p centroids.(assignment.(i)) in
+                if d > !far_d then begin
+                  far_d := d;
+                  far := i
+                end)
+              points;
+            centroids.(c) <- points.(!far);
+            assignment.(!far) <- c;
+            changed := true
+          end)
+        counts
+    done;
+    let inertia =
+      let acc = ref 0.0 in
+      Array.iteri (fun i p -> acc := !acc +. Vec.dist_sq p centroids.(assignment.(i))) points;
+      !acc
+    in
+    { centroids; assignment; inertia }
+  end
+
+let members result c =
+  let acc = ref [] in
+  Array.iteri (fun i a -> if a = c then acc := i :: !acc) result.assignment;
+  List.rev !acc
+
+let medoid_of points idxs =
+  match idxs with
+  | [] -> invalid_arg "Kmeans.medoid_of: empty member list"
+  | _ ->
+    let center = Vec.centroid (List.map (fun i -> points.(i)) idxs) in
+    let best = ref (List.hd idxs) and best_d = ref infinity in
+    List.iter
+      (fun i ->
+        let d = Vec.dist_sq points.(i) center in
+        if d < !best_d then begin
+          best_d := d;
+          best := i
+        end)
+      idxs;
+    !best

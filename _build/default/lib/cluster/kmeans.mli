@@ -1,0 +1,31 @@
+(** Lloyd's k-means with k-means++ seeding.
+
+    Mortar's physical dataflow planner recursively clusters network
+    coordinates and places operators at cluster centroids (§3.1). The
+    planner asks for exactly [bf] clusters per recursion level, so plain
+    k-means is the workhorse; {!Xmeans} layers model selection on top. *)
+
+type result = {
+  centroids : Mortar_util.Vec.t array;
+  assignment : int array; (** [assignment.(i)] is the cluster of point [i]. *)
+  inertia : float; (** Sum of squared distances to assigned centroids. *)
+}
+
+val cluster :
+  Mortar_util.Rng.t ->
+  k:int ->
+  ?max_iter:int ->
+  Mortar_util.Vec.t array ->
+  result
+(** [cluster rng ~k points] runs k-means++ seeding followed by Lloyd
+    iterations (default [max_iter] 50) until assignments stabilise.
+    Requires [1 <= k]. When [k >= Array.length points], each point gets its
+    own cluster. Empty clusters are re-seeded on the farthest point. *)
+
+val members : result -> int -> int list
+(** Point indices assigned to the given cluster. *)
+
+val medoid_of : Mortar_util.Vec.t array -> int list -> int
+(** [medoid_of points idxs] is the member of [idxs] closest to the centroid
+    of those members — used to pick a real node to host an operator.
+    Requires a non-empty list. *)

@@ -1,0 +1,75 @@
+module Vec = Mortar_util.Vec
+
+(* BIC under the identical spherical Gaussian assumption of Pelleg & Moore.
+   log-likelihood of cluster j with n_j points, total n points, k clusters,
+   dimension d, and pooled variance sigma^2 (MLE):
+
+     l_j = n_j log n_j - n_j log n - n_j d / 2 log (2 pi sigma^2)
+           - (n_j - k') / 2            where k' contributes via sigma
+   We use the standard formulation: BIC = L - p/2 * log n with
+   p = k * (d + 1) free parameters. *)
+let bic points (result : Kmeans.result) =
+  let n = Array.length points in
+  let k = Array.length result.centroids in
+  if n = 0 || k = 0 then neg_infinity
+  else begin
+    let d = float_of_int (Vec.dim points.(0)) in
+    let nf = float_of_int n in
+    let kf = float_of_int k in
+    (* Pooled MLE variance; floor avoids log 0 for degenerate clusters. *)
+    let variance = max (result.inertia /. (max 1.0 (nf -. kf) *. d)) 1e-12 in
+    let counts = Array.make k 0 in
+    Array.iter (fun a -> counts.(a) <- counts.(a) + 1) result.assignment;
+    let log_likelihood =
+      Array.fold_left
+        (fun acc nj ->
+          if nj = 0 then acc
+          else begin
+            let njf = float_of_int nj in
+            acc
+            +. (njf *. log njf)
+            -. (njf *. log nf)
+            -. (njf *. d /. 2.0 *. log (2.0 *. Float.pi *. variance))
+            -. ((njf -. 1.0) *. d /. 2.0)
+          end)
+        0.0 counts
+    in
+    let params = kf *. (d +. 1.0) in
+    log_likelihood -. (params /. 2.0 *. log nf)
+  end
+
+let cluster rng ~k_min ~k_max points =
+  assert (1 <= k_min && k_min <= k_max);
+  let n = Array.length points in
+  if n = 0 then Kmeans.cluster rng ~k:1 points
+  else begin
+    let current = ref (Kmeans.cluster rng ~k:(min k_min n) points) in
+    let improved = ref true in
+    while !improved && Array.length !current.centroids < min k_max n do
+      improved := false;
+      let k = Array.length !current.centroids in
+      (* Try to split each cluster; collect centroids of accepted splits. *)
+      let new_centroids = ref [] in
+      for c = 0 to k - 1 do
+        let idxs = Kmeans.members !current c in
+        let sub_points = Array.of_list (List.map (fun i -> points.(i)) idxs) in
+        if Array.length sub_points >= 4 && List.length !new_centroids + k < k_max then begin
+          let parent =
+            Kmeans.cluster rng ~k:1 sub_points
+          in
+          let split = Kmeans.cluster rng ~k:2 sub_points in
+          if Array.length split.centroids = 2 && bic sub_points split > bic sub_points parent
+          then new_centroids := split.centroids.(0) :: split.centroids.(1) :: !new_centroids
+          else new_centroids := !current.centroids.(c) :: !new_centroids
+        end
+        else new_centroids := !current.centroids.(c) :: !new_centroids
+      done;
+      let next_k = List.length !new_centroids in
+      if next_k > k then begin
+        (* Refine globally with the accepted number of clusters. *)
+        current := Kmeans.cluster rng ~k:(min next_k (min k_max n)) points;
+        improved := true
+      end
+    done;
+    !current
+  end

@@ -1,0 +1,1 @@
+lib/coords/vivaldi.ml: Array Mortar_net Mortar_util

@@ -1,0 +1,1 @@
+lib/coords/vivaldi.mli: Mortar_net Mortar_util

@@ -1,0 +1,49 @@
+(** Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM 2004).
+
+    Mortar's physical dataflow planner clusters peers on network coordinates
+    to build a latency-aware primary tree (§3.1); the prototype used
+    Bamboo's Vivaldi implementation with 3-dimensional coordinates
+    (footnote 5). This module implements the adaptive-timestep Vivaldi
+    algorithm with confidence weights ([c_c = c_e = 0.25] as in the paper's
+    recommended settings), plus a convergence driver that simulates rounds
+    of all-pairs gossip sampling against a {!Mortar_net.Topology}.
+
+    Coordinates predict one-way latency by Euclidean distance (seconds). *)
+
+type node
+(** Per-node Vivaldi state. *)
+
+val node_create : ?dim:int -> Mortar_util.Rng.t -> node
+(** Fresh node state at a small random position ([dim] defaults to 3). *)
+
+val coordinate : node -> Mortar_util.Vec.t
+
+val error_estimate : node -> float
+(** Local relative error estimate in [\[0, 1\]] (starts at 1). *)
+
+val observe :
+  node -> rng:Mortar_util.Rng.t -> remote:Mortar_util.Vec.t -> remote_error:float -> rtt:float -> unit
+(** Fold in one latency sample to a remote node: the standard Vivaldi
+    update with adaptive timestep [delta = c_c * w] where
+    [w = e_local / (e_local + e_remote)]. [rtt] is the measured one-way
+    latency in seconds (the name follows the original paper). *)
+
+type system
+(** A set of Vivaldi nodes converging against a topology. *)
+
+val create : Mortar_net.Topology.t -> ?dim:int -> rng:Mortar_util.Rng.t -> unit -> system
+
+val round : system -> samples:int -> unit
+(** One gossip round: each node measures latency to [samples] random peers
+    and updates its coordinate. *)
+
+val converge : system -> rounds:int -> samples:int -> unit
+(** Run several rounds; the paper lets Vivaldi run "for at least ten
+    rounds" before planning (§7.3). *)
+
+val coordinates : system -> Mortar_util.Vec.t array
+(** Current coordinate of every host, indexed by host id. *)
+
+val relative_error : system -> float
+(** Median relative error of coordinate-predicted vs true latency over a
+    random sample of pairs — a convergence diagnostic. *)

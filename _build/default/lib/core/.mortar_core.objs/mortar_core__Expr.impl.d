@@ -1,0 +1,1 @@
+lib/core/expr.ml: Float Format List Printf String Value

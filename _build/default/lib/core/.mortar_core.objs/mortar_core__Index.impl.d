@@ -1,0 +1,1 @@
+lib/core/index.ml: Float Format

@@ -1,0 +1,1 @@
+lib/core/msg.ml: Format List Query String Summary

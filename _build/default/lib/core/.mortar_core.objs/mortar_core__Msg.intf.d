@@ -1,0 +1,1 @@
+lib/core/msg.mli: Format Query Summary

@@ -1,0 +1,1 @@
+lib/core/msl.ml: Buffer Expr Format List Op Option Query String Value Window

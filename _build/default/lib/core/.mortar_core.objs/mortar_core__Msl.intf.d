@@ -1,0 +1,1 @@
+lib/core/msl.mli: Expr Format Op Query Window

@@ -1,0 +1,1 @@
+lib/core/op.ml: Array Float Format Hashtbl List Printf String Value

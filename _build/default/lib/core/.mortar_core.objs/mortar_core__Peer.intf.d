@@ -1,0 +1,1 @@
+lib/core/peer.mli: Index Mortar_overlay Mortar_util Msg Query Value

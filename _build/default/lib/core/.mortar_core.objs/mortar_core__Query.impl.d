@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Expr Format Hashtbl List Mortar_overlay Op Queue String Window

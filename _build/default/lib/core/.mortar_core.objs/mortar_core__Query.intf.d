@@ -1,0 +1,1 @@
+lib/core/query.mli: Expr Format Mortar_overlay Op Window

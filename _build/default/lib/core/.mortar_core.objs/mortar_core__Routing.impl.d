@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array List Mortar_util Option Printf Query Sys

@@ -1,0 +1,1 @@
+lib/core/routing.mli: Mortar_util Query

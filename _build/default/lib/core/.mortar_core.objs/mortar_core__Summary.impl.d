@@ -1,0 +1,1 @@
+lib/core/summary.ml: Format Index List Option Value

@@ -1,0 +1,1 @@
+lib/core/summary.mli: Format Index Value

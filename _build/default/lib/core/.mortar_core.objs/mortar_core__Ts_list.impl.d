@@ -1,0 +1,1 @@
+lib/core/ts_list.ml: Float Index List Op Summary Value

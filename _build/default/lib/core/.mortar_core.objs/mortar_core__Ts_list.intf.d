@@ -1,0 +1,1 @@
+lib/core/ts_list.mli: Index Op Summary Value

@@ -1,0 +1,1 @@
+lib/core/value.ml: Float Format List Stdlib String

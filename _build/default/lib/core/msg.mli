@@ -1,0 +1,50 @@
+(** Peer-to-peer wire messages.
+
+    Every inter-peer interaction — data tuples, heartbeats, query
+    management, reconciliation, topology service — is one of these
+    payloads. {!wire_size} estimates the serialized size for the
+    simulator's bandwidth accounting. *)
+
+type payload =
+  | Data of {
+      query : string;
+      seqno : int;
+      tree : int; (** Tree on which the tuple travels (arrival tree). *)
+      summary : Summary.t;
+      visited : (int * int) list; (** Per-tree last visited level (§3.3). *)
+      path : int list; (** Recently visited node ids, newest first (bounded);
+                           strengthens the paper's level-only cycle
+                           avoidance — see {!Routing.route}. *)
+      ttl_down : int;
+      digest : string; (** Sender's query digest: removal reconciliation
+                           piggybacks on tuple arrivals (§6.1). *)
+    }
+  | Heartbeat of { digest : string option }
+      (** [digest] present every [reconcile_every]-th beat (§7.1 uses every
+          third). *)
+  | Reconcile_request of { installed : (string * int * int) list;
+                           removed : (string * int) list }
+      (** (name, seqno, root) for installs — the root locates the topology
+          server; (name, seqno) for removals. *)
+  | Reconcile_reply of { installed : (string * int * int) list;
+                         removed : (string * int) list }
+  | Install of {
+      meta : Query.meta;
+      members : (int * Query.node_view) list;
+      edges : (int * int) list; (** Forwarding edges inside the chunk. *)
+      age : float; (** Seconds since the injector issued the install, used
+                       to correct the syncless install delta (§5.1). *)
+    }
+  | Remove of { name : string; seqno : int }
+  | View_request of { name : string }
+      (** Sent to a query root by a peer (re)installing via
+          reconciliation. *)
+  | View_reply of { meta : Query.meta; view : Query.node_view option; age : float }
+
+val wire_size : payload -> int
+
+val kind : payload -> string
+(** Traffic class for bandwidth accounting: ["data"], ["heartbeat"] or
+    ["control"]. *)
+
+val pp : Format.formatter -> payload -> unit

@@ -1,0 +1,65 @@
+(** In-network operators (§2.2).
+
+    Mortar operators are non-blocking and duplicate-sensitive: thanks to
+    time-division data partitioning, each user-defined operator only
+    supplies a [merge] function (inject a tuple into the window — used both
+    for merging {e across time} at sources and {e across space} at interior
+    nodes) and an optional [remove] (retract a tuple as it exits the
+    window). No duplicate-insensitive synopses are required (§2.2, §8).
+
+    An operator works over partial values of type {!Value.t}:
+
+    - [init] is the empty partial (merge identity);
+    - [lift raw] turns one raw payload into a partial;
+    - [merge a b] combines two partials — it must be associative and
+      commutative, since summaries arrive in any order over any tree;
+    - [remove part lifted] retracts a previously lifted value (only used by
+      sliding windows with [range > slide]; operators without an inverse
+      leave it [None] and the source recomputes the window);
+    - [finalize part] converts a partial to the user-visible result.
+
+    {!spec} is the symbolic, wire-friendly form carried inside query
+    install messages; {!compile} resolves it to an implementation, looking
+    up {!register}ed user-defined operators for {!Custom}. *)
+
+type spec =
+  | Sum
+  | Count
+  | Avg
+  | Min
+  | Max
+  | Top_k of { k : int; key : string }
+      (** Keep the [k] records with the largest [key] field. *)
+  | Union of { cap : int }
+      (** Concatenate raw values, keeping at most [cap] (0 = unlimited). *)
+  | Entropy
+      (** Shannon entropy (bits) of the distribution of string values. *)
+  | Histogram of { lo : float; hi : float; bins : int }
+  | Quantile of { q : float; lo : float; hi : float; bins : int }
+      (** Approximate [q]-quantile ([0 < q < 1]) over a mergeable
+          fixed-bin histogram sketch on [\[lo, hi\]]; the answer is exact
+          to within one bin width. *)
+  | Custom of { name : string; args : Value.t list }
+
+type impl = {
+  init : Value.t;
+  lift : Value.t -> Value.t;
+  merge : Value.t -> Value.t -> Value.t;
+  remove : (Value.t -> Value.t -> Value.t) option;
+  finalize : Value.t -> Value.t;
+}
+
+val compile : spec -> impl
+(** @raise Invalid_argument for an unregistered custom operator. *)
+
+val register : string -> (Value.t list -> impl) -> unit
+(** Register a user-defined operator under a name usable from the Mortar
+    Stream Language. Re-registration replaces. *)
+
+val registered : string -> bool
+
+val spec_name : spec -> string
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val spec_wire_size : spec -> int

@@ -1,0 +1,925 @@
+module Rng = Mortar_util.Rng
+module Ewma = Mortar_util.Ewma
+
+type timer = { cancel : unit -> unit }
+
+type runtime = {
+  self : int;
+  send : dst:int -> size:int -> kind:string -> Msg.payload -> unit;
+  local_time : unit -> float;
+  latency_to : int -> float;
+  set_timer : after:float -> (unit -> unit) -> timer;
+  rng : Rng.t;
+}
+
+type config = {
+  hb_period : float;
+  hb_timeout_factor : float;
+  reconcile_every : int;
+  min_timeout : float;
+  timeout_slack : float;
+  install_chunks : int;
+  boundary_period : float;
+  emitted_horizon : int;
+  level_wait : float; (* eviction-time budget per level of headroom *)
+  quiet_guard : float; (* deadline extension while merges keep arriving *)
+}
+
+let default_config =
+  {
+    hb_period = 2.0;
+    hb_timeout_factor = 3.0;
+    reconcile_every = 3;
+    min_timeout = 0.25;
+    timeout_slack = 0.4;
+    install_chunks = 16;
+    boundary_period = 1.0;
+    emitted_horizon = 64;
+    level_wait = 1.0;
+    quiet_guard = 0.6;
+  }
+
+type result = {
+  query : string;
+  index : Index.t;
+  slot : int;
+  value : Value.t;
+  count : int;
+  completeness : float;
+  age : float;
+  hops : int;
+  hops_max : int;
+  prov : (int * int) list;
+  emitted_at_local : float;
+}
+
+type stats = {
+  results_emitted : int;
+  tuples_sent : int;
+  tuples_received : int;
+  tuples_late : int;
+  tuples_dropped : int;
+  reconciliations : int;
+  view_requests : int;
+  type_faults : int; (** Tuples dropped because an operator or transform
+                         raised {!Value.Type_error} on them. *)
+}
+
+type raw = { basis : float; payload : Value.t; prov : (int * int) list }
+
+type instance = {
+  meta : Query.meta;
+  view : Query.node_view;
+  op : Op.impl;
+  ts : Ts_list.t;
+  netdist : Ewma.t;
+  t_ref_base : float; (* basis time = local_time - t_ref_base *)
+  mutable stripe : int;
+  emitted : (int, float) Hashtbl.t; (* evicted local slot -> eviction basis time *)
+  mutable max_emitted : int;
+  mutable emitted_te : float; (* eviction watermark (tuple windows) *)
+  mutable raws : raw list; (* newest first; time windows *)
+  mutable tw_buffer : raw list; (* newest first; tuple windows, length <= range *)
+  mutable tw_pending : int; (* raws since the last tuple-window emission *)
+  mutable tw_last_te : float;
+  mutable raw_seen : bool; (* since the last boundary check *)
+  mutable age_max_period : float; (* max received age since the last fold *)
+  mutable next_slot : int; (* next slide boundary to close (time windows) *)
+  mutable eviction_timer : timer option;
+  mutable slide_timer : timer option;
+  mutable boundary_timer : timer option;
+}
+
+type partner = {
+  mutable refcount : int;
+  mutable last_heard : float;
+  mutable last_reconcile : float;
+}
+
+type t = {
+  rt : runtime;
+  cfg : config;
+  instances : (string, instance) Hashtbl.t;
+  removed : (string, int) Hashtbl.t; (* name -> latest removal seqno *)
+  not_mine : (string, int) Hashtbl.t; (* queries we learned do not include us *)
+  partners : (int, partner) Hashtbl.t;
+  plans : (string, Query.meta * Mortar_overlay.Treeset.t) Hashtbl.t; (* injector only *)
+  pending_views : (string, float) Hashtbl.t; (* name -> last request local time *)
+  mutable result_handlers : (result -> unit) list;
+  mutable hb_counter : int;
+  mutable hb_timer : timer option;
+  mutable digest_cache : string option;
+  (* counters *)
+  mutable n_results : int;
+  mutable n_sent : int;
+  mutable n_received : int;
+  mutable n_late : int;
+  mutable n_dropped : int;
+  mutable n_reconciliations : int;
+  mutable n_view_requests : int;
+  mutable n_type_faults : int;
+}
+
+let self t = t.rt.self
+
+let now_local t = t.rt.local_time ()
+
+let basis inst ~local = local -. inst.t_ref_base
+
+(* ------------------------------------------------------------------ *)
+(* Digest over query-management state (§6.1).                          *)
+
+let digest t =
+  match t.digest_cache with
+  | Some d -> d
+  | None ->
+    let installed =
+      Hashtbl.fold (fun name inst acc -> (name, inst.meta.Query.seqno) :: acc) t.instances []
+      |> List.sort compare
+    in
+    let removed = Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.removed [] |> List.sort compare in
+    let buf = Buffer.create 128 in
+    List.iter (fun (n, s) -> Buffer.add_string buf (Printf.sprintf "i:%s#%d;" n s)) installed;
+    List.iter (fun (n, s) -> Buffer.add_string buf (Printf.sprintf "r:%s#%d;" n s)) removed;
+    let d = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+    t.digest_cache <- Some d;
+    d
+
+let invalidate_digest t = t.digest_cache <- None
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat partner bookkeeping.                                      *)
+
+let partner_of t node =
+  match Hashtbl.find_opt t.partners node with
+  | Some p -> p
+  | None ->
+    let p = { refcount = 0; last_heard = now_local t; last_reconcile = neg_infinity } in
+    Hashtbl.replace t.partners node p;
+    p
+
+let retain_partner t node =
+  let p = partner_of t node in
+  p.refcount <- p.refcount + 1;
+  p.last_heard <- now_local t
+
+let release_partner t node =
+  match Hashtbl.find_opt t.partners node with
+  | None -> ()
+  | Some p ->
+    p.refcount <- p.refcount - 1;
+    if p.refcount <= 0 then Hashtbl.remove t.partners node
+
+let alive_neighbor t node =
+  match Hashtbl.find_opt t.partners node with
+  | None -> true
+  | Some p -> now_local t -. p.last_heard < t.cfg.hb_timeout_factor *. t.cfg.hb_period
+
+let heard_from t src =
+  match Hashtbl.find_opt t.partners src with
+  | Some p -> p.last_heard <- now_local t
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sending helpers.                                                    *)
+
+let send_msg t ~dst payload =
+  t.rt.send ~dst ~size:(Msg.wire_size payload) ~kind:(Msg.kind payload) payload
+
+let installed_triples t =
+  Hashtbl.fold
+    (fun name inst acc -> (name, inst.meta.Query.seqno, inst.meta.Query.root) :: acc)
+    t.instances []
+
+let removed_pairs t = Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.removed []
+
+let slide_of (meta : Query.meta) =
+  match meta.window with
+  | Window.Time { slide; _ } -> slide
+  | Window.Tuples _ -> invalid_arg "slide_of: tuple window"
+
+(* ------------------------------------------------------------------ *)
+(* The mutually recursive heart: source emission, TS eviction, routing,
+   result reporting, and raw injection (results feed composed queries). *)
+
+let rec arm_eviction t inst =
+  (match inst.eviction_timer with Some h -> h.cancel () | None -> ());
+  match Ts_list.next_deadline inst.ts with
+  | None -> inst.eviction_timer <- None
+  | Some deadline ->
+    let b = basis inst ~local:(now_local t) in
+    let delay = max 0.0 (deadline -. b) in
+    inst.eviction_timer <- Some (t.rt.set_timer ~after:delay (fun () -> evict t inst))
+
+and evict t inst =
+  inst.eviction_timer <- None;
+  let b = basis inst ~local:(now_local t) in
+  let due = Ts_list.pop_due inst.ts ~now:b in
+  List.iter (fun s -> dispatch_evicted t inst s) due;
+  arm_eviction t inst
+
+and mark_emitted t inst (s : Summary.t) =
+  (match inst.meta.Query.window with
+  | Window.Time _ ->
+    let slide = slide_of inst.meta in
+    let slot = Index.slot ~slide (s.index.Index.tb +. (slide /. 2.0)) in
+    let b = basis inst ~local:(now_local t) in
+    Hashtbl.replace inst.emitted slot b;
+    if slot > inst.max_emitted then inst.max_emitted <- slot;
+    (* Prune by age, not slot distance: under clock offset (timestamp
+       mode) slot labels from different nodes are far apart, and a
+       distance-based watermark would discard every slower cluster. *)
+    let horizon = float_of_int t.cfg.emitted_horizon *. slide in
+    Hashtbl.iter
+      (fun old at -> if b -. at > horizon then Hashtbl.remove inst.emitted old)
+      (Hashtbl.copy inst.emitted)
+  | Window.Tuples _ -> ());
+  if s.index.Index.te > inst.emitted_te then inst.emitted_te <- s.index.Index.te
+
+and dispatch_evicted t inst (s : Summary.t) =
+  mark_emitted t inst s;
+  if t.rt.self = inst.meta.Query.root then report_result t inst s
+  else begin
+    (* The evicted summary is a freshly created tuple at this node: stripe
+       it across the tree set and route from there. Round-robin is the
+       default; content-sensitive queries derive the tree from the window
+       index so all sources agree (§4). *)
+    let counter =
+      match inst.meta.Query.striping with
+      | Query.Round_robin ->
+        inst.stripe <- inst.stripe + 1;
+        inst.stripe
+      | Query.By_index ->
+        let slide =
+          match inst.meta.Query.window with
+          | Window.Time { slide; _ } -> slide
+          | Window.Tuples _ -> 1.0
+        in
+        (* abs: timestamp-mode slots can be negative under clock offset. *)
+        abs (Index.slot ~slide (s.index.Index.tb +. (slide /. 2.0)))
+    in
+    match Routing.stripe_tree inst.view ~counter with
+    | None -> report_result t inst s (* degenerate single-node query *)
+    | Some tree ->
+      let visited = Routing.initial_visited inst.view in
+      route_and_send t inst s ~visited ~arrival_tree:tree ~ttl_down:0 ()
+  end
+
+and route_and_send t inst (s : Summary.t) ?(path = []) ~visited ~arrival_tree ~ttl_down () =
+  let path =
+    let with_self = t.rt.self :: List.filter (fun n -> n <> t.rt.self) path in
+    List.filteri (fun i _ -> i < Routing.path_horizon) with_self
+  in
+  match
+    Routing.route ~avoid:path ~view:inst.view ~alive:(alive_neighbor t) ~rng:t.rt.rng
+      ~visited ~arrival_tree ~ttl_down ()
+  with
+  | Routing.Deliver_root -> report_result t inst s
+  | Routing.Drop -> t.n_dropped <- t.n_dropped + 1
+  | Routing.Forward { dst; tree; descended } ->
+    let ttl_down = if descended then ttl_down + 1 else ttl_down in
+    t.n_sent <- t.n_sent + 1;
+    send_msg t ~dst
+      (Msg.Data
+         {
+           query = inst.meta.Query.name;
+           seqno = inst.meta.Query.seqno;
+           tree;
+           summary = s;
+           visited;
+           path;
+           ttl_down;
+           digest = digest t;
+         })
+
+and report_result t inst (s : Summary.t) =
+  let meta = inst.meta in
+  let slide_slot =
+    match meta.Query.window with
+    | Window.Time { slide; _ } -> Index.slot ~slide (s.index.Index.tb +. (slide /. 2.0))
+    | Window.Tuples _ -> -1
+  in
+  let value = inst.op.Op.finalize s.value in
+  let r =
+    {
+      query = meta.Query.name;
+      index = s.index;
+      slot = slide_slot;
+      value;
+      count = s.count;
+      completeness = float_of_int s.count /. float_of_int (max 1 meta.Query.total_nodes);
+      age = s.age;
+      hops = s.hops;
+      hops_max = s.hops_max;
+      prov = s.prov;
+      emitted_at_local = now_local t;
+    }
+  in
+  t.n_results <- t.n_results + 1;
+  List.iter (fun f -> f r) t.result_handlers;
+  (* Results are the query's output stream: feed composed queries that
+     subscribe to it locally (§2.2). Skip boundary-only results. *)
+  if not s.boundary then inject t ~stream:meta.Query.name value
+
+(* Insert a summary into the instance's TS list with the dynamic timeout
+   of §4.3 and re-arm the eviction timer. *)
+and ts_insert t inst (s : Summary.t) =
+  let b = basis inst ~local:(now_local t) in
+  let nd = Ewma.value_or inst.netdist 0.0 in
+  let timeout = max t.cfg.min_timeout (nd -. s.age +. t.cfg.timeout_slack) in
+  Ts_list.insert inst.ts ~now:b ~deadline:(b +. timeout) s;
+  arm_eviction t inst
+
+(* A summary created locally (source slide or tuple-window emission). *)
+and emit_local t inst (s : Summary.t) =
+  if inst.meta.Query.aggregate || t.rt.self = inst.meta.Query.root then ts_insert t inst s
+  else dispatch_evicted t inst s
+
+
+and fold_netdist inst =
+  if inst.age_max_period > neg_infinity then begin
+    Ewma.update inst.netdist inst.age_max_period;
+    inst.age_max_period <- neg_infinity
+  end
+
+and close_slide t inst =
+  fold_netdist inst;
+  let local = now_local t in
+  let b = basis inst ~local in
+  match inst.meta.Query.window with
+  | Window.Tuples _ -> ()
+  | Window.Time { range; slide } ->
+    let closing = inst.next_slot - 1 in
+    let wend = float_of_int (closing + 1) *. slide in
+    let wstart = wend -. range in
+    let in_window r = r.basis >= wstart -. 1e-9 && r.basis < wend -. 1e-9 in
+    let window_raws = List.filter in_window inst.raws in
+    (* Raws that can no longer appear in any future window are dropped. *)
+    let next_wstart = wstart +. slide in
+    inst.raws <- List.filter (fun r -> r.basis >= next_wstart -. 1e-9) inst.raws;
+    let index = Index.of_slot ~slide closing in
+    let summary =
+      match window_raws with
+      | [] ->
+        Summary.boundary ~index ~identity:inst.op.Op.init ~count:1
+          ~age:(b -. ((float_of_int closing +. 0.5) *. slide))
+      | raws ->
+        (* A payload the operator cannot type is a query fault: drop the
+           offending tuple, keep the window (§2.2's non-blocking rule). *)
+        let value =
+          List.fold_left
+            (fun acc r ->
+              try inst.op.Op.merge acc (inst.op.Op.lift r.payload)
+              with Value.Type_error _ ->
+                t.n_type_faults <- t.n_type_faults + 1;
+                acc)
+            inst.op.Op.init raws
+        in
+        let newest_slide = List.filter (fun r -> r.basis >= wend -. slide -. 1e-9) raws in
+        let age_basis =
+          match newest_slide with
+          | [] -> (float_of_int closing +. 0.5) *. slide
+          | rs ->
+            List.fold_left (fun acc r -> acc +. r.basis) 0.0 rs /. float_of_int (List.length rs)
+        in
+        let prov =
+          List.fold_left (fun acc r -> Summary.merge_prov acc r.prov) [] raws
+        in
+        Summary.make ~index ~value ~count:1 ~age:(b -. age_basis) ~prov ()
+    in
+    emit_local t inst summary;
+    inst.next_slot <- inst.next_slot + 1;
+    let next_fire = float_of_int inst.next_slot *. slide in
+    inst.slide_timer <-
+      Some (t.rt.set_timer ~after:(max 0.001 (next_fire -. b)) (fun () -> close_slide t inst))
+
+and emit_tuple_window t inst =
+  match inst.meta.Query.window with
+  | Window.Time _ -> ()
+  | Window.Tuples { range; _ } ->
+    let local = now_local t in
+    let b = basis inst ~local in
+    let window_raws =
+      List.filteri (fun i _ -> i < range) inst.tw_buffer |> List.rev (* oldest first *)
+    in
+    (match window_raws with
+    | [] -> ()
+    | first :: _ ->
+      let last_basis =
+        List.fold_left (fun acc r -> max acc r.basis) first.basis window_raws
+      in
+      let tb = first.basis in
+      let te = max (tb +. 1e-6) (last_basis +. 1e-6) in
+      let index = Index.make ~tb ~te in
+      let value =
+        List.fold_left
+          (fun acc r ->
+            try inst.op.Op.merge acc (inst.op.Op.lift r.payload)
+            with Value.Type_error _ ->
+              t.n_type_faults <- t.n_type_faults + 1;
+              acc)
+          inst.op.Op.init window_raws
+      in
+      let age_basis =
+        List.fold_left (fun acc r -> acc +. r.basis) 0.0 window_raws
+        /. float_of_int (List.length window_raws)
+      in
+      let prov = List.fold_left (fun acc r -> Summary.merge_prov acc r.prov) [] window_raws in
+      let summary = Summary.make ~index ~value ~count:1 ~age:(b -. age_basis) ~prov () in
+      inst.tw_last_te <- te;
+      emit_local t inst summary);
+    inst.tw_pending <- 0
+
+and boundary_check t inst =
+  fold_netdist inst;
+  (match inst.meta.Query.window with
+  | Window.Time _ -> ()
+  | Window.Tuples _ ->
+    if (not inst.raw_seen) && inst.tw_last_te > 0.0 then begin
+      let b = basis inst ~local:(now_local t) in
+      if b > inst.tw_last_te +. 1e-6 then begin
+        let index = Index.make ~tb:inst.tw_last_te ~te:b in
+        let s =
+          Summary.boundary ~index ~identity:inst.op.Op.init ~count:1
+            ~age:(b -. ((index.Index.tb +. index.Index.te) /. 2.0))
+        in
+        inst.tw_last_te <- b;
+        emit_local t inst s
+      end
+    end);
+  inst.raw_seen <- false;
+  inst.boundary_timer <-
+    Some (t.rt.set_timer ~after:t.cfg.boundary_period (fun () -> boundary_check t inst))
+
+and inject t ~stream ?true_slot payload =
+  Hashtbl.iter
+    (fun _ inst ->
+      if inst.meta.Query.source = stream then begin
+        match
+          (try Expr.apply inst.meta.Query.pre payload
+           with Value.Type_error _ ->
+             t.n_type_faults <- t.n_type_faults + 1;
+             None)
+        with
+        | None -> ()
+        | Some payload ->
+          let b = basis inst ~local:(now_local t) in
+          let prov = match true_slot with Some s -> [ (s, 1) ] | None -> [] in
+          let r = { basis = b; payload; prov } in
+          inst.raw_seen <- true;
+          (match inst.meta.Query.window with
+          | Window.Time _ -> inst.raws <- r :: inst.raws
+          | Window.Tuples { range; slide } ->
+            inst.tw_buffer <- r :: inst.tw_buffer;
+            if List.length inst.tw_buffer > range then
+              inst.tw_buffer <- List.filteri (fun i _ -> i < range) inst.tw_buffer;
+            inst.tw_pending <- inst.tw_pending + 1;
+            if inst.tw_pending >= slide then emit_tuple_window t inst)
+      end)
+    t.instances
+
+(* ------------------------------------------------------------------ *)
+(* Install / remove.                                                   *)
+
+let cancel_instance_timers inst =
+  (match inst.eviction_timer with Some h -> h.cancel () | None -> ());
+  (match inst.slide_timer with Some h -> h.cancel () | None -> ());
+  (match inst.boundary_timer with Some h -> h.cancel () | None -> ());
+  inst.eviction_timer <- None;
+  inst.slide_timer <- None;
+  inst.boundary_timer <- None
+
+let remove_local t ~name ~seqno =
+  (match Hashtbl.find_opt t.instances name with
+  | Some inst when inst.meta.Query.seqno <= seqno ->
+    cancel_instance_timers inst;
+    Hashtbl.remove t.instances name;
+    List.iter (release_partner t) (Query.neighbors inst.view);
+    invalidate_digest t
+  | _ -> ());
+  let prev = Option.value (Hashtbl.find_opt t.removed name) ~default:min_int in
+  if seqno > prev then begin
+    Hashtbl.replace t.removed name seqno;
+    invalidate_digest t
+  end
+
+let install_local t (meta : Query.meta) view ~install_age =
+  let removed_seqno = Option.value (Hashtbl.find_opt t.removed meta.name) ~default:min_int in
+  if meta.seqno <= removed_seqno then ()
+  else begin
+    let stale =
+      match Hashtbl.find_opt t.instances meta.name with
+      | Some inst -> inst.meta.Query.seqno >= meta.seqno
+      | None -> false
+    in
+    if not stale then begin
+      (match Hashtbl.find_opt t.instances meta.name with
+      | Some old ->
+        cancel_instance_timers old;
+        List.iter (release_partner t) (Query.neighbors old.view);
+        Hashtbl.remove t.instances meta.name
+      | None -> ());
+      let local = now_local t in
+      let t_ref_base =
+        match meta.mode with
+        | Query.Syncless -> local -. install_age
+        | Query.Timestamp -> 0.0
+      in
+      let op = Op.compile meta.op in
+      (* A node's eviction budget scales with its headroom: the deepest
+         subtree that can aggregate through it on any tree. This ladders
+         evictions structurally — leaves go fast, the root waits longest —
+         which the first-arrival timeout alone cannot guarantee. *)
+      let headroom =
+        Array.to_list (Array.mapi (fun i h -> h - view.Query.levels.(i)) view.Query.heights)
+        |> List.fold_left max 0
+      in
+      let hard_cap =
+        let budget = t.cfg.min_timeout +. (float_of_int headroom *. t.cfg.level_wait) in
+        match meta.mode with
+        | Query.Syncless -> budget
+        | Query.Timestamp ->
+          (* The headroom ladder is calibrated for age-based timeouts; with
+             timestamps the paper's system had no such bound, and its
+             latency under offset shows it (Fig 10). A loose cap keeps the
+             simulation finite while letting the pathology appear. *)
+          budget *. 15.0
+      in
+      let inst =
+        {
+          meta;
+          view;
+          op;
+          ts =
+            Ts_list.create
+              ~extend_boundaries:(not (Window.is_time meta.window))
+              ~quiet_guard:t.cfg.quiet_guard ~hard_cap ~op ();
+          netdist = Ewma.create ();
+          t_ref_base;
+          stripe = Rng.int t.rt.rng (max 1 meta.degree);
+          emitted = Hashtbl.create 64;
+          max_emitted = min_int;
+          emitted_te = neg_infinity;
+          raws = [];
+          tw_buffer = [];
+          tw_pending = 0;
+          tw_last_te = 0.0;
+          raw_seen = false;
+          age_max_period = neg_infinity;
+          next_slot = 0;
+          eviction_timer = None;
+          slide_timer = None;
+          boundary_timer = None;
+        }
+      in
+      Hashtbl.replace t.instances meta.name inst;
+      List.iter (retain_partner t) (Query.neighbors view);
+      invalidate_digest t;
+      (match meta.window with
+      | Window.Time { slide; _ } ->
+        let b = basis inst ~local in
+        inst.next_slot <- Index.slot ~slide b + 1;
+        let next_fire = float_of_int inst.next_slot *. slide in
+        inst.slide_timer <-
+          Some (t.rt.set_timer ~after:(max 0.001 (next_fire -. b)) (fun () -> close_slide t inst))
+      | Window.Tuples _ ->
+        inst.boundary_timer <-
+          Some (t.rt.set_timer ~after:t.cfg.boundary_period (fun () -> boundary_check t inst)))
+    end
+  end
+
+let forward_install t (meta : Query.meta) members edges ~age =
+  (* Forward the sub-chunks rooted at each of our chunk children. *)
+  let children = Hashtbl.create 8 in
+  List.iter
+    (fun (c, p) ->
+      Hashtbl.replace children p (c :: Option.value (Hashtbl.find_opt children p) ~default:[]))
+    edges;
+  let my_children = Option.value (Hashtbl.find_opt children t.rt.self) ~default:[] in
+  List.iter
+    (fun child ->
+      (* Collect the subtree of the chunk rooted at [child]. *)
+      let subtree = Hashtbl.create 16 in
+      let rec collect n =
+        Hashtbl.replace subtree n ();
+        List.iter collect (Option.value (Hashtbl.find_opt children n) ~default:[])
+      in
+      collect child;
+      let sub_members = List.filter (fun (n, _) -> Hashtbl.mem subtree n) members in
+      let sub_edges =
+        List.filter (fun (c, p) -> Hashtbl.mem subtree c && Hashtbl.mem subtree p) edges
+      in
+      send_msg t ~dst:child
+        (Msg.Install { meta; members = sub_members; edges = sub_edges; age }))
+    my_children
+
+let handle_install t (meta : Query.meta) members edges ~age =
+  (match List.assoc_opt t.rt.self members with
+  | Some view -> install_local t meta view ~install_age:age
+  | None -> ());
+  forward_install t meta members edges ~age
+
+let install_query t (meta : Query.meta) treeset =
+  if Mortar_overlay.Treeset.root treeset <> t.rt.self then
+    invalid_arg "Peer.install_query: peer is not the plan root";
+  if meta.Query.root <> t.rt.self then
+    invalid_arg "Peer.install_query: meta.root is not this peer";
+  Hashtbl.replace t.plans meta.Query.name (meta, treeset);
+  let chunks = Query.chunk_plan treeset ~chunks:t.cfg.install_chunks in
+  List.iter
+    (fun (chunk : Query.chunk) ->
+      if chunk.entry = t.rt.self then
+        handle_install t meta chunk.members chunk.edges ~age:0.0
+      else
+        send_msg t ~dst:chunk.entry
+          (Msg.Install { meta; members = chunk.members; edges = chunk.edges; age = 0.0 }))
+    chunks
+
+let replan_query t ~name treeset =
+  match Hashtbl.find_opt t.plans name with
+  | None -> invalid_arg "Peer.replan_query: no plan for this query (not the injector)"
+  | Some (meta, _) ->
+    (* §3.2: large changes in network coordinates require query
+       re-deployment. A higher sequence number supersedes the old plan on
+       every peer; stragglers catch up through reconciliation. *)
+    let meta = { meta with Query.seqno = meta.Query.seqno + 1 } in
+    install_query t meta treeset
+
+let remove_query t ~name =
+  match Hashtbl.find_opt t.plans name with
+  | None -> invalid_arg "Peer.remove_query: no plan for this query (not the injector)"
+  | Some (meta, treeset) ->
+    let seqno = meta.Query.seqno + 1 in
+    let primary = Mortar_overlay.Treeset.tree treeset 0 in
+    let children = Mortar_overlay.Tree.children primary t.rt.self in
+    remove_local t ~name ~seqno;
+    List.iter (fun c -> send_msg t ~dst:c (Msg.Remove { name; seqno })) children
+
+(* ------------------------------------------------------------------ *)
+(* Reconciliation (§6.1).                                              *)
+
+let request_view t ~name ~root =
+  let local = now_local t in
+  let recently =
+    match Hashtbl.find_opt t.pending_views name with
+    | Some at -> local -. at < float_of_int t.cfg.reconcile_every *. t.cfg.hb_period
+    | None -> false
+  in
+  if not recently then begin
+    Hashtbl.replace t.pending_views name local;
+    t.n_view_requests <- t.n_view_requests + 1;
+    send_msg t ~dst:root (Msg.View_request { name })
+  end
+
+let apply_remote_sets t ~installed ~removed =
+  (* IC = theirs.installed - ours.installed - matching local removals. *)
+  List.iter
+    (fun (name, seqno, root) ->
+      let locally_removed =
+        match Hashtbl.find_opt t.removed name with Some s -> s >= seqno | None -> false
+      in
+      let locally_installed =
+        match Hashtbl.find_opt t.instances name with
+        | Some inst -> inst.meta.Query.seqno >= seqno
+        | None -> false
+      in
+      let known_not_mine =
+        match Hashtbl.find_opt t.not_mine name with Some s -> s >= seqno | None -> false
+      in
+      if (not locally_removed) && (not locally_installed) && not known_not_mine then
+        if root = t.rt.self then () (* we are the topology server; nothing to fetch *)
+        else request_view t ~name ~root)
+    installed;
+  (* RC = ours.installed intersected with their removals. *)
+  List.iter (fun (name, seqno) -> remove_local t ~name ~seqno) removed
+
+let maybe_reconcile t ~src ~remote_digest =
+  if remote_digest <> digest t then begin
+    let p = partner_of t src in
+    let local = now_local t in
+    let min_gap = float_of_int t.cfg.reconcile_every *. t.cfg.hb_period in
+    if local -. p.last_reconcile >= min_gap then begin
+      p.last_reconcile <- local;
+      t.n_reconciliations <- t.n_reconciliations + 1;
+      send_msg t ~dst:src
+        (Msg.Reconcile_request
+           { installed = installed_triples t; removed = removed_pairs t })
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Data arrival.                                                       *)
+
+let relabel_for_mode t inst (s : Summary.t) =
+  match inst.meta.Query.mode with
+  | Query.Timestamp ->
+    (* With timestamps there is no carried age: an operator can only infer
+       a tuple's delay from its timestamp — [now - index midpoint]. Under
+       relative clock offset this inference is wrong by the offset, which
+       is precisely how offset pollutes netDist and stalls windows (§5). *)
+    let b = basis inst ~local:(now_local t) in
+    let midpoint = (s.index.Index.tb +. s.index.Index.te) /. 2.0 in
+    { s with Summary.age = max 0.0 (b -. midpoint) }
+  | Query.Syncless -> (
+    let b = basis inst ~local:(now_local t) in
+    match inst.meta.Query.window with
+    | Window.Time { slide; _ } ->
+      (* Fig 7: index <- (t_ref - T.age) / slide, a purely local label. *)
+      let slot = Index.slot ~slide (b -. s.age) in
+      { s with Summary.index = Index.of_slot ~slide slot }
+    | Window.Tuples _ ->
+      (* Center the interval at the age-implied local instant, keeping its
+         duration: the interval endpoints were in the sender's basis. *)
+      let d = Index.duration s.index in
+      let center = b -. s.age in
+      { s with Summary.index = Index.make ~tb:(center -. (d /. 2.0)) ~te:(center +. (d /. 2.0)) })
+
+let already_emitted t inst (s : Summary.t) =
+  ignore t;
+  match inst.meta.Query.window with
+  | Window.Time { slide; _ } ->
+    let slot = Index.slot ~slide (s.index.Index.tb +. (slide /. 2.0)) in
+    Hashtbl.mem inst.emitted slot
+  | Window.Tuples _ -> s.index.Index.te <= inst.emitted_te
+
+let handle_data t ~src ~query ~seqno:_ ~tree ~summary ~visited ~path ~ttl_down =
+  t.n_received <- t.n_received + 1;
+  match Hashtbl.find_opt t.instances query with
+  | None -> () (* not installed (yet); reconciliation will catch us up *)
+  | Some inst ->
+    let latency = t.rt.latency_to src in
+    let s =
+      { summary with
+        Summary.age = summary.Summary.age +. latency;
+        Summary.hops = summary.Summary.hops + 1;
+        Summary.hops_max = summary.Summary.hops_max + 1
+      }
+    in
+    let s = relabel_for_mode t inst s in
+    (* netDist (§4.3): an EWMA (alpha = 10 %, the paper's footnote) of the
+       maximum received age, folded per slide period. On its own a
+       max-based estimate diverges under dynamic striping — sibling trees
+       can make two nodes each other's parents, so each would wait for the
+       other's waits — but the headroom cap on eviction deadlines bounds
+       every age in the system, which bounds this estimate too. In
+       timestamp mode the age is the timestamp-inferred delay, so offset
+       inflates the estimate and with it every wait. *)
+    if s.Summary.age > inst.age_max_period then inst.age_max_period <- s.Summary.age;
+    if inst.meta.Query.aggregate = false && t.rt.self <> inst.meta.Query.root then begin
+      (* No-aggregation baseline: pass everything through. *)
+      let visited =
+        Routing.update_visited visited ~tree ~level:inst.view.Query.levels.(tree)
+      in
+      route_and_send t inst s ~path ~visited ~arrival_tree:tree ~ttl_down ()
+    end
+    else if already_emitted t inst s then begin
+      (* Late tuple: pass through toward the root without merging. *)
+      t.n_late <- t.n_late + 1;
+      if t.rt.self = inst.meta.Query.root then () (* window already reported *)
+      else begin
+        let visited =
+          Routing.update_visited visited ~tree ~level:inst.view.Query.levels.(tree)
+        in
+        route_and_send t inst s ~path ~visited ~arrival_tree:tree ~ttl_down ()
+      end
+    end
+    else ts_insert t inst s
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeats.                                                         *)
+
+let heartbeat_targets t =
+  let seen = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun _ inst -> List.iter (fun n -> Hashtbl.replace seen n ()) (Query.neighbors inst.view))
+    t.instances;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen []
+
+let rec heartbeat_tick t =
+  t.hb_counter <- t.hb_counter + 1;
+  let with_digest = t.hb_counter mod t.cfg.reconcile_every = 0 in
+  let d = if with_digest then Some (digest t) else None in
+  List.iter (fun dst -> send_msg t ~dst (Msg.Heartbeat { digest = d })) (heartbeat_targets t);
+  t.hb_timer <- Some (t.rt.set_timer ~after:t.cfg.hb_period (fun () -> heartbeat_tick t))
+
+(* ------------------------------------------------------------------ *)
+(* Message dispatch.                                                   *)
+
+let receive t ~src payload =
+  heard_from t src;
+  match payload with
+  | Msg.Data { query; seqno; tree; summary; visited; path; ttl_down; digest = remote } ->
+    maybe_reconcile t ~src ~remote_digest:remote;
+    handle_data t ~src ~query ~seqno ~tree ~summary ~visited ~path ~ttl_down
+  | Msg.Heartbeat { digest = remote } -> (
+    (* Make sure unsolicited heartbeats create a partner entry, so that the
+       sender's liveness is tracked symmetrically. *)
+    ignore (partner_of t src);
+    heard_from t src;
+    match remote with
+    | Some d -> maybe_reconcile t ~src ~remote_digest:d
+    | None -> ())
+  | Msg.Reconcile_request { installed; removed } ->
+    apply_remote_sets t ~installed ~removed;
+    send_msg t ~dst:src
+      (Msg.Reconcile_reply { installed = installed_triples t; removed = removed_pairs t })
+  | Msg.Reconcile_reply { installed; removed } -> apply_remote_sets t ~installed ~removed
+  | Msg.Install { meta; members; edges; age } ->
+    let age = age +. t.rt.latency_to src in
+    handle_install t meta members edges ~age
+  | Msg.Remove { name; seqno } ->
+    (* Forward down the primary tree before dropping the instance. *)
+    (match Hashtbl.find_opt t.instances name with
+    | Some inst when inst.meta.Query.seqno <= seqno ->
+      List.iter
+        (fun c -> send_msg t ~dst:c (Msg.Remove { name; seqno }))
+        inst.view.Query.children.(0)
+    | _ -> ());
+    remove_local t ~name ~seqno
+  | Msg.View_request { name } -> (
+    match Hashtbl.find_opt t.plans name with
+    | None -> ()
+    | Some (meta, treeset) ->
+      let view =
+        if Mortar_overlay.Tree.mem (Mortar_overlay.Treeset.tree treeset 0) src then
+          Some (Query.view_of_treeset treeset src)
+        else None
+      in
+      send_msg t ~dst:src (Msg.View_reply { meta; view; age = 0.0 }))
+  | Msg.View_reply { meta; view; age } -> (
+    Hashtbl.remove t.pending_views meta.Query.name;
+    match view with
+    | Some v -> install_local t meta v ~install_age:(age +. t.rt.latency_to src)
+    | None -> Hashtbl.replace t.not_mine meta.Query.name meta.Query.seqno)
+
+(* ------------------------------------------------------------------ *)
+(* Construction and introspection.                                     *)
+
+let create ?(config = default_config) rt =
+  let t =
+    {
+      rt;
+      cfg = config;
+      instances = Hashtbl.create 8;
+      removed = Hashtbl.create 8;
+      not_mine = Hashtbl.create 8;
+      partners = Hashtbl.create 32;
+      plans = Hashtbl.create 4;
+      pending_views = Hashtbl.create 8;
+      result_handlers = [];
+      hb_counter = 0;
+      hb_timer = None;
+      digest_cache = None;
+      n_results = 0;
+      n_sent = 0;
+      n_received = 0;
+      n_late = 0;
+      n_dropped = 0;
+      n_reconciliations = 0;
+      n_view_requests = 0;
+      n_type_faults = 0;
+    }
+  in
+  (* Desynchronise heartbeat phases across peers. *)
+  let phase = Rng.float rt.rng config.hb_period in
+  t.hb_timer <- Some (rt.set_timer ~after:phase (fun () -> heartbeat_tick t));
+  t
+
+let on_result t f = t.result_handlers <- f :: t.result_handlers
+
+let installed t = Hashtbl.fold (fun name _ acc -> name :: acc) t.instances []
+
+let has_query t name = Hashtbl.mem t.instances name
+
+let query_seqno t name =
+  Option.map (fun inst -> inst.meta.Query.seqno) (Hashtbl.find_opt t.instances name)
+
+let crash t =
+  Hashtbl.iter (fun _ inst -> cancel_instance_timers inst) t.instances;
+  Hashtbl.reset t.instances;
+  Hashtbl.reset t.removed;
+  Hashtbl.reset t.not_mine;
+  Hashtbl.reset t.partners;
+  Hashtbl.reset t.plans;
+  Hashtbl.reset t.pending_views;
+  invalidate_digest t;
+  (match t.hb_timer with Some h -> h.cancel () | None -> ());
+  t.hb_timer <- Some (t.rt.set_timer ~after:t.cfg.hb_period (fun () -> heartbeat_tick t))
+
+let stats t =
+  {
+    results_emitted = t.n_results;
+    tuples_sent = t.n_sent;
+    tuples_received = t.n_received;
+    tuples_late = t.n_late;
+    tuples_dropped = t.n_dropped;
+    reconciliations = t.n_reconciliations;
+    view_requests = t.n_view_requests;
+    type_faults = t.n_type_faults;
+  }
+
+let netdist t ~query =
+  Option.bind (Hashtbl.find_opt t.instances query) (fun inst -> Ewma.value inst.netdist)
+
+let ts_length t ~query =
+  Option.map (fun inst -> Ts_list.length inst.ts) (Hashtbl.find_opt t.instances query)

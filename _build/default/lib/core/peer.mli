@@ -1,0 +1,156 @@
+(** The Mortar peer runtime.
+
+    A peer is an event-driven process that accepts, compiles and injects
+    queries, hosts operator instances, exchanges heartbeats, routes tuples
+    over the query tree set, and runs the reconciliation protocol. It is
+    written against an abstract {!runtime} (send / timers / local clock),
+    the role Bamboo's ASyncCore event loop played in the prototype (§7);
+    the simulator supplies the implementation, and all of the peer's logic
+    is timing-source agnostic.
+
+    Dataflow (per installed query, §4):
+    - the peer's local source stream is windowed ({e merging across time})
+      and every slide produces a summary tuple — or a boundary tuple when
+      the stream stalled;
+    - summaries are striped round-robin across the tree set and routed by
+      the staged policy of Fig 5;
+    - arriving summaries are re-indexed (syncless mode, Fig 7) and merged
+      into the TS list ({e merging across space}); entries evict on dynamic
+      timeouts [netDist - T.age] and are forwarded upward, or reported at
+      the root;
+    - summaries arriving after their window was already evicted are passed
+      through toward the root without merging, preserving best-effort
+      delivery of late data.
+
+    All times handed to the peer are {e local}: the peer never sees true
+    simulation time. Ages are measured by differencing local readings, so
+    clock {e offset} cancels and only skew remains — the syncless design
+    point of §5. *)
+
+type timer = { cancel : unit -> unit }
+
+type runtime = {
+  self : int;
+  send : dst:int -> size:int -> kind:string -> Msg.payload -> unit;
+  local_time : unit -> float; (** The node's (possibly offset/skewed) clock. *)
+  latency_to : int -> float;
+      (** One-way latency estimate to a neighbor (UdpCC RTT/2 in the
+          prototype); used to account network delay into tuple ages. *)
+  set_timer : after:float -> (unit -> unit) -> timer; (** [after] is in local seconds. *)
+  rng : Mortar_util.Rng.t;
+}
+
+type config = {
+  hb_period : float; (** Heartbeat period; 2 s in §7.2.2. *)
+  hb_timeout_factor : float; (** Neighbor dead after this many periods. *)
+  reconcile_every : int; (** Digest on every k-th heartbeat; 3 in §7.1. *)
+  min_timeout : float; (** Floor on TS eviction timeouts. *)
+  timeout_slack : float; (** Added to [netDist - age]. *)
+  install_chunks : int; (** Parallel install components; 16 in §7.1. *)
+  boundary_period : float; (** Stall detection period for tuple windows. *)
+  emitted_horizon : int; (** Evicted-slot memory, in slots. *)
+  level_wait : float;
+      (** Eviction-time budget per level of headroom: a node at level [l]
+          of a height-[h] tree may hold a window for at most
+          [min_timeout + (h - l) * level_wait], laddering evictions from
+          the leaves to the root. *)
+  quiet_guard : float;
+      (** Each merge extends the entry deadline to at least now + guard
+          (bounded by the headroom cap): eviction waits for per-window
+          quiescence. See DESIGN.md on why the paper's first-arrival-only
+          timeout is unstable under dynamic striping. *)
+}
+
+val default_config : config
+
+type result = {
+  query : string;
+  index : Index.t; (** In the root's local basis. *)
+  slot : int; (** Local window slot for time windows; [-1] for tuple windows. *)
+  value : Value.t; (** Finalized operator output. *)
+  count : int; (** Participants included (completeness numerator). *)
+  completeness : float; (** [count / total_nodes]. *)
+  age : float; (** Average constituent age at the root. *)
+  hops : int; (** Count-weighted mean constituent overlay path. *)
+  hops_max : int; (** Longest constituent overlay path. *)
+  prov : (int * int) list; (** True-window provenance when tracked. *)
+  emitted_at_local : float;
+}
+
+type stats = {
+  results_emitted : int;
+  tuples_sent : int;
+  tuples_received : int;
+  tuples_late : int; (** Arrived after local eviction; passed through. *)
+  tuples_dropped : int; (** Routing policy exhausted (stage 5). *)
+  reconciliations : int;
+  view_requests : int;
+  type_faults : int;
+      (** Tuples dropped because an operator or pre-transform raised
+          {!Value.Type_error} — a query fault, never a peer crash. *)
+}
+
+type t
+
+val create : ?config:config -> runtime -> t
+
+val self : t -> int
+
+(** {1 Wiring} *)
+
+val receive : t -> src:int -> Msg.payload -> unit
+(** Connect to the transport's delivery handler. *)
+
+val inject : t -> stream:string -> ?true_slot:int -> Value.t -> unit
+(** Deliver one raw sensor tuple to the local stream [stream]. [true_slot]
+    is the measurement harness's ground-truth window id (never visible to
+    query logic). *)
+
+val on_result : t -> (result -> unit) -> unit
+(** Root-side result callback. Results are also re-injected locally as a
+    stream named after the query, so further queries can subscribe to a
+    query's output stream (§2.2). *)
+
+(** {1 Query management} *)
+
+val install_query : t -> Query.meta -> Mortar_overlay.Treeset.t -> unit
+(** Act as injector: retain the full plan (topology service), install
+    locally, and multicast chunked installs (§6). The peer must be the
+    plan's root. *)
+
+val remove_query : t -> name:string -> unit
+(** Multicast removal down the primary tree; requires the full plan (only
+    the injector has it). *)
+
+val replan_query : t -> name:string -> Mortar_overlay.Treeset.t -> unit
+(** Re-deploy an installed query over a fresh tree set (e.g. after network
+    coordinates drift, §3.2): the same metadata is re-issued with a higher
+    sequence number, superseding the old plan everywhere; peers that miss
+    the multicast converge through reconciliation. Injector only. *)
+
+val installed : t -> string list
+
+val has_query : t -> string -> bool
+
+val query_seqno : t -> string -> int option
+
+(** {1 Failure injection} *)
+
+val crash : t -> unit
+(** Lose all operator state, installed queries, and heartbeat state, as a
+    process restart would. Reconciliation re-installs queries over time
+    (§6). Cached removals survive only at the injector. *)
+
+(** {1 Introspection} *)
+
+val stats : t -> stats
+
+val netdist : t -> query:string -> float option
+
+val ts_length : t -> query:string -> int option
+
+val alive_neighbor : t -> int -> bool
+(** Liveness belief from heartbeats (true for unknown nodes). *)
+
+val digest : t -> string
+(** Current MD5 digest over installed and removed query state (§6.1). *)

@@ -1,0 +1,196 @@
+type entry = {
+  mutable index : Index.t;
+  mutable value : Value.t;
+  mutable count : int;
+  mutable boundary : bool;
+  mutable prov : (int * int) list;
+  mutable age_acc : float; (* sum over constituents of count * (age - arrival) *)
+  mutable hops_acc : float; (* sum over constituents of count * hops *)
+  mutable hops_max : int;
+  mutable deadline : float;
+  mutable cap : float; (* absolute ceiling on deadline extensions *)
+}
+
+type t = {
+  op : Op.impl;
+  extend_boundaries : bool;
+  quiet_guard : float;
+  hard_cap : float;
+  mutable entries : entry list; (* sorted by index start, non-overlapping *)
+}
+
+let create ?(extend_boundaries = false) ?(quiet_guard = 0.6) ?(hard_cap = 6.0) ~op () =
+  { op; extend_boundaries; quiet_guard; hard_cap; entries = [] }
+
+let length t = List.length t.entries
+
+let entry_of_summary t ~now ~deadline (s : Summary.t) =
+  {
+    index = s.index;
+    value = s.value;
+    count = s.count;
+    boundary = s.boundary;
+    prov = s.prov;
+    age_acc = float_of_int (max 1 s.count) *. (s.age -. now);
+    hops_acc = float_of_int (max 1 s.count) *. float_of_int s.hops;
+    hops_max = s.hops_max;
+    deadline;
+    cap = now +. t.hard_cap;
+  }
+
+(* Merge summary [s] into entry [e] in place (indices assumed compatible;
+   the caller has already arranged interval bookkeeping). *)
+let merge_into t e ~now (s : Summary.t) =
+  e.value <- t.op.Op.merge e.value s.value;
+  e.count <- e.count + s.count;
+  e.boundary <- e.boundary && s.boundary;
+  e.prov <- Summary.merge_prov e.prov s.prov;
+  e.age_acc <- e.age_acc +. (float_of_int (max 1 s.count) *. (s.age -. now));
+  e.hops_acc <- e.hops_acc +. (float_of_int (max 1 s.count) *. float_of_int s.hops);
+  e.hops_max <- max e.hops_max s.hops_max;
+  (* Quiescence extension: while tuples keep merging, push the deadline out
+     by the quiet guard (never beyond the cap). The first-arrival timeout of
+     §4.3 alone is unstable under dynamic striping: sibling trees can make
+     two nodes each other's parents, and waits estimated from each other's
+     waits ratchet without bound. Extending while the window is still
+     "hot" — and only then — keeps eviction adaptive per window with a hard
+     latency bound. *)
+  e.deadline <- min e.cap (max e.deadline (now +. t.quiet_guard))
+
+(* A copy of entry [e] shrunk to interval [idx], used for split residues.
+   It keeps the full value/count/age bookkeeping of the original — §4.2:
+   non-overlapping regions retain their initial values. *)
+let shrink e idx = { e with index = idx }
+
+let restrict_summary (s : Summary.t) idx = { s with Summary.index = idx }
+
+(* Insert, maintaining sorted non-overlapping entries. Recursion structure:
+   find the first entry overlapping the summary; emit the part of the
+   summary before it (if any) as its own entry; handle the overlap per
+   §4.2; recurse on the remainder after the entry. *)
+let rec insert_rec t ~now ~deadline (s : Summary.t) =
+  let idx = s.Summary.index in
+  let rec place before after =
+    match after with
+    | [] ->
+      (* No overlap with anything: append. *)
+      List.rev_append before [ entry_of_summary t ~now ~deadline s ]
+    | e :: rest when not (Index.overlaps e.index idx) ->
+      if Index.compare_by_start idx e.index < 0 then
+        (* Entirely before e: insert here. *)
+        List.rev_append before (entry_of_summary t ~now ~deadline s :: e :: rest)
+      else place (e :: before) rest
+    | e :: rest ->
+      if Index.equal e.index idx then begin
+        merge_into t e ~now s;
+        List.rev_append before (e :: rest)
+      end
+      else begin
+        (* Partial overlap: split into before / overlap / after pieces. *)
+        let inter =
+          match Index.intersect e.index idx with
+          | Some i -> i
+          | None -> assert false
+        in
+        let pieces = ref [] in
+        (* Leading residue: belongs to whichever input starts earlier. *)
+        if e.index.Index.tb < inter.Index.tb -. 1e-9 then
+          pieces := shrink e (Index.make ~tb:e.index.Index.tb ~te:inter.Index.tb) :: !pieces
+        else if idx.Index.tb < inter.Index.tb -. 1e-9 then
+          pieces :=
+            entry_of_summary t ~now ~deadline
+              (restrict_summary s (Index.make ~tb:idx.Index.tb ~te:inter.Index.tb))
+            :: !pieces;
+        (* Overlap piece: merge of both, inheriting the entry's deadline
+           (the first tuple for the region set it). *)
+        let overlap_entry = shrink e inter in
+        merge_into t overlap_entry ~now (restrict_summary s inter);
+        pieces := overlap_entry :: !pieces;
+        let assembled = List.rev_append before (List.rev_append !pieces []) in
+        (* Trailing residues may still overlap later entries, so re-insert
+           them recursively into the assembled prefix + rest. *)
+        let trailing_entry =
+          if e.index.Index.te > inter.Index.te +. 1e-9 then
+            Some (`Entry (shrink e (Index.make ~tb:inter.Index.te ~te:e.index.Index.te)))
+          else if idx.Index.te > inter.Index.te +. 1e-9 then
+            Some (`Summary (restrict_summary s (Index.make ~tb:inter.Index.te ~te:idx.Index.te)))
+          else None
+        in
+        let base = assembled @ rest in
+        match trailing_entry with
+        | None -> base
+        | Some (`Entry residue) ->
+          (* An entry residue cannot overlap [rest] (entries were disjoint),
+             so splice it in directly, keeping order. *)
+          let rec splice = function
+            | [] -> [ residue ]
+            | x :: xs ->
+              if Index.compare_by_start residue.index x.index < 0 then residue :: x :: xs
+              else x :: splice xs
+          in
+          splice base
+        | Some (`Summary s') ->
+          t.entries <- base;
+          insert_rec t ~now ~deadline s';
+          t.entries
+      end
+  in
+  t.entries <- place [] t.entries
+
+(* Boundary tuples whose interval starts exactly where an entry ends extend
+   that entry's validity (§4.3: "boundary tuples tell downstream operators
+   to extend the previous summary tuple's index") without contributing
+   value or count. The extension is capped at the next entry's start to
+   preserve disjointness. Boundaries that don't extend anything fall
+   through to normal insertion (they still carry completeness counts). *)
+let try_extend t (s : Summary.t) =
+  let idx = s.Summary.index in
+  let rec scan = function
+    | [] -> false
+    | e :: rest when abs_float (e.index.Index.te -. idx.Index.tb) < 1e-9 ->
+      let cap =
+        match rest with
+        | next :: _ -> min idx.Index.te next.index.Index.tb
+        | [] -> idx.Index.te
+      in
+      if cap > e.index.Index.te +. 1e-9 then begin
+        e.index <- Index.make ~tb:e.index.Index.tb ~te:cap;
+        true
+      end
+      else true (* nothing to extend into; the boundary is absorbed *)
+    | _ :: rest -> scan rest
+  in
+  scan t.entries
+
+let insert t ~now ~deadline s =
+  if s.Summary.boundary && t.extend_boundaries && try_extend t s then ()
+  else insert_rec t ~now ~deadline s
+
+let next_deadline t =
+  List.fold_left
+    (fun acc e -> match acc with None -> Some e.deadline | Some d -> Some (min d e.deadline))
+    None t.entries
+
+let to_summary ~now e =
+  let weight = float_of_int (max 1 e.count) in
+  let age = (e.age_acc +. (weight *. now)) /. weight in
+  (* Count-weighted mean constituent path length (the paper's path-length
+     metric); rounding keeps it an integer hop count on the wire. *)
+  let hops = int_of_float (Float.round (e.hops_acc /. weight)) in
+  Summary.make ~index:e.index ~value:e.value ~count:e.count ~boundary:e.boundary ~age
+    ~hops ~hops_max:e.hops_max ~prov:e.prov ()
+
+let pop_due t ~now =
+  (* The epsilon absorbs float rounding between a stored deadline and the
+     wakeup time the timer actually fired at: without it, a deadline a few
+     ulps past [now] re-arms a zero-length timer forever. *)
+  let due, keep = List.partition (fun e -> e.deadline <= now +. 1e-6) t.entries in
+  t.entries <- keep;
+  List.map (to_summary ~now) due
+
+let force_pop t ~now =
+  let all = t.entries in
+  t.entries <- [];
+  List.map (to_summary ~now) all
+
+let entries t = List.map (fun e -> (e.index, e.value, e.count, e.deadline)) t.entries

@@ -1,0 +1,1 @@
+lib/dht/node_id.ml: Char Digest Format Int64 String

@@ -1,0 +1,1 @@
+lib/dht/node_id.mli: Format

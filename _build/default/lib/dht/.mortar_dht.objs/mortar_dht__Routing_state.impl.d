@@ -1,0 +1,1 @@
+lib/dht/routing_state.ml: Array Hashtbl List Node_id

@@ -1,0 +1,1 @@
+lib/dht/routing_state.mli: Node_id

@@ -1,0 +1,1 @@
+lib/emulation/deployment.ml: Array Fun Hashtbl List Mortar_coords Mortar_core Mortar_net Mortar_overlay Mortar_sim Mortar_util Option

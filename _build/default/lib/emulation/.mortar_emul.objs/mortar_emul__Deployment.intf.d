@@ -1,0 +1,1 @@
+lib/emulation/deployment.mli: Mortar_core Mortar_net Mortar_overlay Mortar_sim Mortar_util

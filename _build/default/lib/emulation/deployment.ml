@@ -1,0 +1,134 @@
+module Engine = Mortar_sim.Engine
+module Clock = Mortar_sim.Clock
+module Topology = Mortar_net.Topology
+module Transport = Mortar_net.Transport
+module Peer = Mortar_core.Peer
+module Rng = Mortar_util.Rng
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  transport : Mortar_core.Msg.payload Transport.t;
+  clocks : Clock.t array;
+  peers : Peer.t array;
+  rng : Rng.t;
+  mutable vivaldi : Mortar_coords.Vivaldi.system option;
+}
+
+let make_runtime ~engine ~transport ~topo ~clock ~rng self : Peer.runtime =
+  let local_time () = Clock.local_time clock ~now:(Engine.now engine) in
+  {
+    Peer.self;
+    send =
+      (fun ~dst ~size ~kind payload -> Transport.send transport ~src:self ~dst ~size ~kind payload);
+    local_time;
+    latency_to = (fun dst -> Topology.latency topo self dst);
+    set_timer =
+      (fun ~after f ->
+        (* [after] is local seconds; a fast clock (positive skew) fires its
+           timers early in true time. *)
+        let true_delay = after /. (1.0 +. Clock.skew clock) in
+        let h = Engine.schedule engine ~after:true_delay f in
+        { Peer.cancel = (fun () -> Engine.cancel h) });
+    rng;
+  }
+
+let create ?(seed = 42) ?(config = Peer.default_config) ?(loss = 0.0) ?offsets ?skews topo =
+  let n = Topology.hosts topo in
+  let rng = Rng.create seed in
+  let engine = Engine.create () in
+  let transport = Transport.create engine topo ~loss ~rng:(Rng.split rng) () in
+  let get arr i = match arr with Some a -> a.(i) | None -> 0.0 in
+  let clocks =
+    Array.init n (fun i -> Clock.create ~offset:(get offsets i) ~skew:(get skews i) ())
+  in
+  let peers =
+    Array.init n (fun i ->
+        let rt =
+          make_runtime ~engine ~transport ~topo ~clock:clocks.(i) ~rng:(Rng.split rng) i
+        in
+        Peer.create ~config rt)
+  in
+  Array.iteri (fun i peer -> Transport.register transport i (fun ~src m -> Peer.receive peer ~src m)) peers;
+  { engine; topo; transport; clocks; peers; rng; vivaldi = None }
+
+let engine t = t.engine
+
+let transport t = t.transport
+
+let topology t = t.topo
+
+let hosts t = Topology.hosts t.topo
+
+let peer t i = t.peers.(i)
+
+let rng t = t.rng
+
+let now t = Engine.now t.engine
+
+let run_until t time = Engine.run ~until:time t.engine
+
+let at t time f = ignore (Engine.schedule_at t.engine ~at:time f)
+
+let set_up t node up = Transport.set_up t.transport node up
+
+let up_hosts t =
+  let rec loop i acc =
+    if i < 0 then acc
+    else loop (i - 1) (if Transport.is_up t.transport i then i :: acc else acc)
+  in
+  loop (hosts t - 1) []
+
+let fail_random t ~fraction ?(protect = []) () =
+  let n = hosts t in
+  let protected_set = Hashtbl.create (List.length protect) in
+  List.iter (fun p -> Hashtbl.replace protected_set p ()) protect;
+  let candidates =
+    Array.of_list (List.filter (fun i -> not (Hashtbl.mem protected_set i)) (List.init n Fun.id))
+  in
+  let k = int_of_float (fraction *. float_of_int n) in
+  let k = min k (Array.length candidates) in
+  let victims = Rng.sample t.rng candidates k in
+  Array.iter (fun v -> set_up t v false) victims;
+  Array.to_list victims
+
+let reconnect_all t =
+  for i = 0 to hosts t - 1 do
+    set_up t i true
+  done
+
+let converge_coordinates t ?(rounds = 12) ?(samples = 8) () =
+  let system = Mortar_coords.Vivaldi.create t.topo ~rng:(Rng.split t.rng) () in
+  Mortar_coords.Vivaldi.converge system ~rounds ~samples;
+  t.vivaldi <- Some system
+
+let coordinates t =
+  match t.vivaldi with
+  | Some s -> Mortar_coords.Vivaldi.coordinates s
+  | None -> invalid_arg "Deployment.coordinates: call converge_coordinates first"
+
+let plan t ?style ?(bf = 16) ?(d = 4) ~root ~nodes () =
+  let coords = coordinates t in
+  Mortar_overlay.Treeset.plan ?style t.rng ~coords ~bf ~d ~root ~nodes
+
+let plan_random t ?(bf = 16) ?(d = 4) ~root ~nodes () =
+  Mortar_overlay.Treeset.random t.rng ~bf ~d ~root ~nodes
+
+let inject t ~node ~stream ?true_slot value =
+  Peer.inject t.peers.(node) ~stream ?true_slot value
+
+let sensor t ~node ~stream ~period ?(jitter = 0.0) ?truth_slide value =
+  assert (period > 0.0);
+  let phase = Rng.float t.rng period in
+  let counter = ref 0 in
+  let rec tick () =
+    let k = !counter in
+    incr counter;
+    let true_slot =
+      Option.map (fun slide -> Mortar_core.Index.slot ~slide (Engine.now t.engine)) truth_slide
+    in
+    Peer.inject t.peers.(node) ~stream ?true_slot (value k);
+    let delay = period +. if jitter > 0.0 then Rng.uniform t.rng (-.jitter) jitter else 0.0 in
+    ignore (Engine.schedule t.engine ~after:(max 0.001 delay) tick)
+  in
+  ignore (Engine.schedule t.engine ~after:phase tick)

@@ -1,0 +1,100 @@
+(** A simulated Mortar deployment: the ModelNet testbed stand-in.
+
+    Binds together the discrete-event engine, a topology, the datagram
+    transport, per-node clocks, and one {!Mortar_core.Peer} per host. Peer
+    logic sees only its local clock and the transport; everything
+    time-related is translated here (skewed timers, latency estimates), so
+    the peer code is identical to what would run on a real network.
+
+    Also provides the deployment-level services the paper's evaluation
+    uses: Vivaldi coordinate convergence, network-aware query planning,
+    periodic sensors, and failure/churn injection. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?config:Mortar_core.Peer.config ->
+  ?loss:float ->
+  ?offsets:float array ->
+  ?skews:float array ->
+  Mortar_net.Topology.t ->
+  t
+(** [offsets]/[skews] (seconds / dimensionless, indexed by host) default to
+    perfectly synchronized clocks. *)
+
+val engine : t -> Mortar_sim.Engine.t
+
+val transport : t -> Mortar_core.Msg.payload Mortar_net.Transport.t
+
+val topology : t -> Mortar_net.Topology.t
+
+val hosts : t -> int
+
+val peer : t -> int -> Mortar_core.Peer.t
+
+val rng : t -> Mortar_util.Rng.t
+(** The deployment-level RNG (distinct from per-peer RNGs). *)
+
+val now : t -> float
+(** True simulation time. *)
+
+val run_until : t -> float -> unit
+(** Advance virtual time. *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** Schedule an action at absolute virtual time. *)
+
+(** {1 Failure injection} *)
+
+val set_up : t -> int -> bool -> unit
+(** Connect/disconnect a host ("last-mile" link failure, §7.2). *)
+
+val up_hosts : t -> int list
+
+val fail_random : t -> fraction:float -> ?protect:int list -> unit -> int list
+(** Disconnect a uniformly random fraction of hosts (never those in
+    [protect]); returns the failed set. *)
+
+val reconnect_all : t -> unit
+
+(** {1 Planning} *)
+
+val converge_coordinates : t -> ?rounds:int -> ?samples:int -> unit -> unit
+(** Run Vivaldi (§3.1); must be called before {!plan}. *)
+
+val coordinates : t -> Mortar_util.Vec.t array
+
+val plan :
+  t ->
+  ?style:[ `Rotation | `Cluster_shuffle ] ->
+  ?bf:int ->
+  ?d:int ->
+  root:int ->
+  nodes:int array ->
+  unit ->
+  Mortar_overlay.Treeset.t
+(** Network-aware primary + derived siblings over the given node set
+    (default [bf] 16, [d] 4, matching §7; [style] picks the sibling
+    derivation). Requires coordinates. *)
+
+val plan_random :
+  t -> ?bf:int -> ?d:int -> root:int -> nodes:int array -> unit -> Mortar_overlay.Treeset.t
+
+(** {1 Sensors} *)
+
+val sensor :
+  t ->
+  node:int ->
+  stream:string ->
+  period:float ->
+  ?jitter:float ->
+  ?truth_slide:float ->
+  (int -> Mortar_core.Value.t) ->
+  unit
+(** Attach a periodic sensor: every [period] seconds of true time (plus
+    uniform [jitter]), inject [value k] (k = 0, 1, ...) into [stream] on
+    [node]. When [truth_slide] is given, tuples carry their ground-truth
+    window slot for true-completeness measurement (§5). *)
+
+val inject : t -> node:int -> stream:string -> ?true_slot:int -> Mortar_core.Value.t -> unit

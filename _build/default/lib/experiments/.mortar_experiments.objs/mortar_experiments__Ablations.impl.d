@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Common Harness Hashtbl List Mortar_core Mortar_emul Mortar_overlay Mortar_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig01.ml: Common List Mortar_overlay Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig09_10.ml: Array Common Harness Hashtbl List Mortar_central Mortar_core Mortar_emul Mortar_net Mortar_sim Mortar_util Option

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Common Hashtbl List Mortar_core Mortar_emul Mortar_net Mortar_util Option Printf

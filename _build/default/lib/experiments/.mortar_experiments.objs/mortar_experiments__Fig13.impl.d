@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Array Common Fun Hashtbl List Mortar_emul Mortar_net Mortar_overlay Mortar_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Common Fun Harness List Mortar_emul Printf

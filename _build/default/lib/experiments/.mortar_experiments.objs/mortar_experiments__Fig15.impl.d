@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Array Common Fun Harness Hashtbl List Mortar_emul Mortar_util Option Printf

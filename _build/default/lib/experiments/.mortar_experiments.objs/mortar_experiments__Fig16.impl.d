@@ -1,0 +1,1 @@
+lib/experiments/fig16.ml: Array Common Fun List Mortar_net Mortar_sdims Mortar_sim Mortar_util Printf Queue

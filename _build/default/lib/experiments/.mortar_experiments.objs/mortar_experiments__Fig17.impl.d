@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Array Common Fun List Mortar_emul Mortar_net Mortar_overlay Mortar_util

@@ -1,0 +1,1 @@
+lib/experiments/fig18.ml: Array Common List Mortar_core Mortar_emul Mortar_net Mortar_overlay Mortar_util Mortar_wifi Printf

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Hashtbl List Mortar_core Mortar_emul Mortar_net Mortar_overlay Mortar_sim Mortar_util

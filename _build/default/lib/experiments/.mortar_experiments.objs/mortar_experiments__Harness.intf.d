@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Mortar_core Mortar_emul Mortar_overlay

@@ -1,0 +1,185 @@
+(* Figures 9 and 10 (§5): true completeness and result latency for a
+   5-second window as the PlanetLab-like clock-offset distribution is
+   scaled from 0 to 2x, comparing Mortar's syncless mechanism, Mortar with
+   timestamps, and a centralized stream processor with a 5k-tuple BSort
+   reorder buffer (the StreamBase stand-in).
+
+   Paper: syncless is flat at ~91% completeness and ~6 s latency
+   regardless of offset; timestamps degrade to ~75% at half PlanetLab
+   skew with an order-of-magnitude latency increase; the centralized
+   processor degrades in completeness but keeps near-constant latency
+   because of its fixed buffering. *)
+
+module D = Mortar_emul.Deployment
+module Clock = Mortar_sim.Clock
+module Engine = Mortar_sim.Engine
+
+let window = 5.0
+
+(* True completeness: for each true window, the largest fraction of its
+   tuples that landed together in a single reported result. *)
+let true_completeness per_result_prov ~expected_per_slot ~slot_range =
+  let best : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (_, prov) ->
+      List.iter
+        (fun (slot, n) ->
+          let cur = Option.value (Hashtbl.find_opt best slot) ~default:0 in
+          if n > cur then Hashtbl.replace best slot n)
+        prov)
+    per_result_prov;
+  let lo, hi = slot_range in
+  let fracs =
+    List.filter_map
+      (fun slot ->
+        if slot < lo || slot > hi then None
+        else begin
+          let b = Option.value (Hashtbl.find_opt best slot) ~default:0 in
+          Some (float_of_int b /. float_of_int expected_per_slot)
+        end)
+      (List.init (hi - lo + 1) (fun i -> lo + i))
+  in
+  Mortar_util.Stats.mean (Array.of_list fracs)
+
+(* Result latency: emission time minus the due time of the result's
+   majority true window. *)
+let result_latency per_result_prov =
+  let latencies =
+    List.filter_map
+      (fun (emit, prov) ->
+        match prov with
+        | [] -> None
+        | _ ->
+          let majority_slot, _ =
+            List.fold_left
+              (fun (bs, bn) (s, n) -> if n > bn then (s, n) else (bs, bn))
+              (-1, 0) prov
+          in
+          let due = float_of_int (majority_slot + 1) *. window in
+          Some (emit -. due))
+      per_result_prov
+  in
+  Mortar_util.Stats.mean (Array.of_list latencies)
+
+let mortar_point ~quick ~mode ~scale =
+  let hosts = if quick then 200 else 439 in
+  let horizon = if quick then 80.0 else 140.0 in
+  let crng = Mortar_util.Rng.create (1009 + int_of_float (scale *. 10.0)) in
+  let offsets = Clock.planetlab_offsets crng ~scale ~n:hosts in
+  let skews = Clock.planetlab_skews crng ~n:hosts in
+  let h =
+    Harness.create ~seed:57 ~hosts ~window ~mode ~track_provenance:true ~offsets ~skews ()
+  in
+  Harness.run_until h horizon;
+  let prov = Harness.provenance_results h in
+  let lo = 4 and hi = int_of_float (horizon /. window) - 4 in
+  let completeness =
+    true_completeness prov ~expected_per_slot:(hosts * int_of_float window)
+      ~slot_range:(lo, hi)
+  in
+  (completeness, result_latency prov)
+
+let central_point ~quick ~scale =
+  let hosts = if quick then 200 else 439 in
+  let horizon = if quick then 80.0 else 140.0 in
+  let crng = Mortar_util.Rng.create (1009 + int_of_float (scale *. 10.0)) in
+  let offsets = Clock.planetlab_offsets crng ~scale ~n:hosts in
+  let skews = Clock.planetlab_skews crng ~n:hosts in
+  let rng = Mortar_util.Rng.create 3571 in
+  let topo = Mortar_net.Topology.transit_stub rng ~transits:8 ~stubs:34 ~hosts () in
+  let engine = Engine.create () in
+  let clocks =
+    Array.init hosts (fun i -> Clock.create ~offset:offsets.(i) ~skew:skews.(i) ())
+  in
+  let processor =
+    Mortar_central.Processor.create ~op:Mortar_core.Op.Sum ~slide:window ()
+  in
+  let emitted = ref [] in
+  Mortar_central.Processor.on_result processor (fun r ->
+      emitted := (r.Mortar_central.Processor.closed_at, r.Mortar_central.Processor.prov) :: !emitted);
+  (* Every node ships each raw tuple straight to host 0, stamped with its
+     local clock; delivery takes the one-way topology latency. *)
+  for i = 0 to hosts - 1 do
+    let phase = Mortar_util.Rng.float rng 1.0 in
+    let rec tick at =
+      ignore
+        (Engine.schedule_at engine ~at (fun () ->
+             let now = Engine.now engine in
+             let ts = Clock.local_time clocks.(i) ~now in
+             let true_slot = Mortar_core.Index.slot ~slide:window now in
+             let latency = Mortar_net.Topology.latency topo i 0 in
+             ignore
+               (Engine.schedule engine ~after:latency (fun () ->
+                    Mortar_central.Processor.push processor ~now:(Engine.now engine) ~ts
+                      ~true_slot (Mortar_core.Value.Int 1)));
+             tick (at +. 1.0)))
+    in
+    tick phase
+  done;
+  Engine.run ~until:horizon engine;
+  Mortar_central.Processor.drain processor ~now:(Engine.now engine);
+  let prov = List.rev !emitted in
+  let lo = 4 and hi = int_of_float (horizon /. window) - 4 in
+  let completeness =
+    true_completeness prov ~expected_per_slot:(hosts * int_of_float window)
+      ~slot_range:(lo, hi)
+  in
+  (completeness, result_latency prov)
+
+let scales ~quick = if quick then [ 0.0; 1.0; 2.0 ] else [ 0.0; 0.5; 1.0; 1.5; 2.0 ]
+
+(* The three systems are expensive to run; compute each point once and
+   share the rows between the two figures. *)
+let points = Hashtbl.create 8
+
+let point ~quick ~scale =
+  match Hashtbl.find_opt points (quick, scale) with
+  | Some p -> p
+  | None ->
+    let syncless = mortar_point ~quick ~mode:Mortar_core.Query.Syncless ~scale in
+    let timestamp = mortar_point ~quick ~mode:Mortar_core.Query.Timestamp ~scale in
+    let central = central_point ~quick ~scale in
+    let p = (syncless, timestamp, central) in
+    Hashtbl.replace points (quick, scale) p;
+    p
+
+let run_completeness ~quick =
+  Common.table ~columns:[ "skew-scale"; "syncless"; "timestamp"; "streambase" ] (fun () ->
+      List.map
+        (fun scale ->
+          let (sc, _), (tc, _), (cc, _) = point ~quick ~scale in
+          [ Common.cell_f scale; Common.cell_pct sc; Common.cell_pct tc; Common.cell_pct cc ])
+        (scales ~quick))
+
+let run_latency ~quick =
+  Common.table ~columns:[ "skew-scale"; "syncless(s)"; "timestamp(s)"; "streambase(s)" ]
+    (fun () ->
+      List.map
+        (fun scale ->
+          let (_, sl), (_, tl), (_, cl) = point ~quick ~scale in
+          [ Common.cell_f scale; Common.cell_f sl; Common.cell_f tl; Common.cell_f cl ])
+        (scales ~quick))
+
+let experiment_09 =
+  {
+    Common.id = "fig09";
+    title = "True completeness vs clock-offset scale (5 s window)";
+    paper_claim =
+      "syncless flat at ~91% independent of offset; timestamps drop to ~75% at 0.5x \
+       and keep falling; centralized processor degrades too";
+    run = run_completeness;
+  }
+
+let experiment_10 =
+  {
+    Common.id = "fig10";
+    title = "Result latency vs clock-offset scale (5 s window)";
+    paper_claim =
+      "syncless constant ~6 s; timestamps grow ~8x with offset; centralized \
+       processor nearly constant (fixed 5k-tuple buffer)";
+    run = run_latency;
+  }
+
+let register () =
+  Common.register experiment_09;
+  Common.register experiment_10

@@ -1,0 +1,127 @@
+module D = Mortar_emul.Deployment
+module Peer = Mortar_core.Peer
+module Query = Mortar_core.Query
+module Value = Mortar_core.Value
+module Window = Mortar_core.Window
+
+type recorded = {
+  sim_time : float;
+  slot : int;
+  count : int;
+  value : float;
+  hops : int;
+  hops_max : int;
+  age : float;
+}
+
+type t = {
+  d : D.t;
+  treeset : Mortar_overlay.Treeset.t;
+  window : float;
+  mutable recorded : recorded list; (* newest first *)
+  mutable prov : (float * (int * int) list) list;
+}
+
+let query_name = "peer-count"
+
+let create ?(seed = 42) ?(hosts = 680) ?(transits = 8) ?(stubs = 34) ?(bf = 16) ?(degree = 4)
+    ?style ?(window = 1.0) ?(mode = Query.Syncless) ?(aggregate = true)
+    ?(track_provenance = false) ?offsets ?skews ?config ?(install_at = 1.0) () =
+  let rng = Mortar_util.Rng.create (seed * 7919) in
+  let topo = Mortar_net.Topology.transit_stub rng ~transits ~stubs ~hosts () in
+  let d = D.create ~seed ?config ?offsets ?skews topo in
+  D.converge_coordinates d ();
+  let nodes = Array.init (hosts - 1) (fun i -> i + 1) in
+  let treeset = D.plan d ?style ~bf ~d:degree ~root:0 ~nodes () in
+  let meta =
+    Query.make_meta ~name:query_name ~source:"ones" ~op:Mortar_core.Op.Sum
+      ~window:(Window.tumbling window) ~mode ~root:0 ~degree ~total_nodes:hosts ~aggregate
+      ~track_provenance ()
+  in
+  let t = { d; treeset; window; recorded = []; prov = [] } in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0
+      ?truth_slide:(if track_provenance then Some window else None)
+      (fun _ -> Value.Int 1)
+  done;
+  Peer.on_result (D.peer d 0) (fun (r : Peer.result) ->
+      let value = match r.value with Value.Null -> 0.0 | v -> Value.to_float v in
+      t.recorded <-
+        {
+          sim_time = D.now d;
+          slot = r.slot;
+          count = r.count;
+          value;
+          hops = r.hops;
+          hops_max = r.hops_max;
+          age = r.age;
+        }
+        :: t.recorded;
+      if track_provenance then t.prov <- (D.now d, r.prov) :: t.prov);
+  D.at d install_at (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  t
+
+let deployment t = t.d
+
+let treeset t = t.treeset
+
+let run_until t time = D.run_until t.d time
+
+let results t = List.rev t.recorded
+
+let results_between t t0 t1 =
+  List.filter (fun r -> r.sim_time >= t0 && r.sim_time < t1) (results t)
+
+let provenance_results t = List.rev t.prov
+
+let live_hosts t = List.length (D.up_hosts t.d)
+
+let union_bound t =
+  let up = D.up_hosts t.d in
+  let up_set = Hashtbl.create (List.length up) in
+  List.iter (fun h -> Hashtbl.replace up_set h ()) up;
+  List.length
+    (Mortar_overlay.Connectivity.union_reachable
+       (Mortar_overlay.Treeset.trees t.treeset)
+       ~dead:(fun node -> not (Hashtbl.mem up_set node)))
+
+let fail_fraction t fraction = D.fail_random t.d ~fraction ~protect:[ 0 ] ()
+
+let reconnect t victims = List.iter (fun v -> D.set_up t.d v true) victims
+
+let bytes_between series t0 t1 =
+  match series with
+  | None -> 0.0
+  | Some s -> Mortar_sim.Series.sum_between s t0 t1
+
+let kind_mbps t ~kind t0 t1 =
+  let transport = D.transport t.d in
+  let bytes = bytes_between (Mortar_net.Transport.bytes_series transport ~kind) t0 t1 in
+  bytes *. 8.0 /. (t1 -. t0) /. 1e6
+
+let data_mbps t t0 t1 =
+  let transport = D.transport t.d in
+  List.fold_left
+    (fun acc kind -> acc +. kind_mbps t ~kind t0 t1)
+    0.0
+    (Mortar_net.Transport.kinds transport)
+
+let mean_completeness t t0 t1 ~denominator =
+  let rows = results_between t t0 t1 in
+  match rows with
+  | [] -> nan
+  | _ ->
+    let total = List.fold_left (fun acc r -> acc + r.count) 0 rows in
+    float_of_int total /. float_of_int (List.length rows * max 1 denominator)
+
+let mean_path_length t t0 t1 =
+  let rows = results_between t t0 t1 in
+  Mortar_util.Stats.mean (Array.of_list (List.map (fun r -> float_of_int r.hops) rows))
+
+let mean_max_path_length t t0 t1 =
+  let rows = results_between t t0 t1 in
+  Mortar_util.Stats.mean (Array.of_list (List.map (fun r -> float_of_int r.hops_max) rows))
+
+let mean_latency t t0 t1 =
+  let rows = results_between t t0 t1 in
+  Mortar_util.Stats.mean (Array.of_list (List.map (fun r -> r.age) rows))

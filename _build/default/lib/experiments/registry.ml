@@ -1,0 +1,19 @@
+(* Registers every experiment in figure order. Idempotent. *)
+
+let registered = ref false
+
+let ensure () =
+  if not !registered then begin
+    registered := true;
+    Fig01.register ();
+    Fig09_10.register ();
+    Fig11.register ();
+    Fig12.register ();
+    Fig13.register ();
+    Fig14.register ();
+    Fig15.register ();
+    Fig16.register ();
+    Fig17.register ();
+    Fig18.register ();
+    Ablations.register ()
+  end

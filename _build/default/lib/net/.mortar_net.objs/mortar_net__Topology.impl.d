@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Hashtbl List Mortar_util Option

@@ -1,0 +1,1 @@
+lib/net/transport.ml: Array Hashtbl List Mortar_sim Mortar_util Topology

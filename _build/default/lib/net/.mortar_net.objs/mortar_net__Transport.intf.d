@@ -1,0 +1,1 @@
+lib/net/transport.mli: Mortar_sim Mortar_util Topology

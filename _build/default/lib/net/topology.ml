@@ -1,0 +1,139 @@
+type host = int
+
+(* The full graph holds routers and hosts as vertices; edges carry one-way
+   latency in seconds. After construction we run Dijkstra from every host
+   and keep only the host-to-host latency and hop matrices. *)
+type t = {
+  n_hosts : int;
+  lat : float array array; (* host x host, seconds *)
+  hop : int array array; (* host x host, physical links *)
+  stub : int array; (* host -> stub domain *)
+  max_lat : float;
+}
+
+let ms x = x /. 1000.0
+
+type graph = {
+  mutable n : int;
+  adj : (int, (int * float) list) Hashtbl.t;
+}
+
+let graph_create () = { n = 0; adj = Hashtbl.create 256 }
+
+let add_vertex g =
+  let v = g.n in
+  g.n <- g.n + 1;
+  Hashtbl.replace g.adj v [];
+  v
+
+let add_edge g u v w =
+  Hashtbl.replace g.adj u ((v, w) :: Hashtbl.find g.adj u);
+  Hashtbl.replace g.adj v ((u, w) :: Hashtbl.find g.adj v)
+
+(* Dijkstra from [src]; returns (dist, hops) arrays over all vertices. *)
+let dijkstra g src =
+  let dist = Array.make g.n infinity in
+  let hops = Array.make g.n max_int in
+  let visited = Array.make g.n false in
+  let queue = Mortar_util.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  dist.(src) <- 0.0;
+  hops.(src) <- 0;
+  Mortar_util.Heap.push queue (0.0, src);
+  let rec drain () =
+    match Mortar_util.Heap.pop queue with
+    | None -> ()
+    | Some (d, u) ->
+      if not visited.(u) then begin
+        visited.(u) <- true;
+        let relax (v, w) =
+          let nd = d +. w in
+          if nd < dist.(v) -. 1e-12 then begin
+            dist.(v) <- nd;
+            hops.(v) <- hops.(u) + 1;
+            Mortar_util.Heap.push queue (nd, v)
+          end
+        in
+        List.iter relax (Hashtbl.find g.adj u)
+      end;
+      drain ()
+  in
+  drain ();
+  (dist, hops)
+
+let finalize g ~host_vertices ~stub =
+  let n_hosts = Array.length host_vertices in
+  let lat = Array.make_matrix n_hosts n_hosts 0.0 in
+  let hop = Array.make_matrix n_hosts n_hosts 0 in
+  let max_lat = ref 0.0 in
+  Array.iteri
+    (fun i vi ->
+      let dist, hops = dijkstra g vi in
+      Array.iteri
+        (fun j vj ->
+          lat.(i).(j) <- dist.(vj);
+          hop.(i).(j) <- hops.(vj);
+          if dist.(vj) > !max_lat then max_lat := dist.(vj))
+        host_vertices)
+    host_vertices;
+  { n_hosts; lat; hop; stub; max_lat = !max_lat }
+
+let transit_stub rng ?(transits = 8) ?(stubs = 34) ?extra_stub_links ~hosts () =
+  assert (transits > 0 && stubs > 0 && hosts > 0);
+  let extra_stub_links = Option.value extra_stub_links ~default:(stubs / 4) in
+  let g = graph_create () in
+  let transit = Array.init transits (fun _ -> add_vertex g) in
+  (* Transit core: a ring (guarantees connectivity) plus random chords. *)
+  for i = 0 to transits - 1 do
+    add_edge g transit.(i) transit.((i + 1) mod transits) (ms 20.0)
+  done;
+  let chords = max 0 (transits / 2) in
+  for _ = 1 to chords do
+    let a = Mortar_util.Rng.int rng transits and b = Mortar_util.Rng.int rng transits in
+    if a <> b then add_edge g transit.(a) transit.(b) (ms 20.0)
+  done;
+  (* Stub routers, each homed on a random transit. *)
+  let stub_router = Array.init stubs (fun _ -> add_vertex g) in
+  Array.iter
+    (fun s -> add_edge g s transit.(Mortar_util.Rng.int rng transits) (ms 10.0))
+    stub_router;
+  (* Occasional stub-stub shortcuts, as Inet topologies exhibit. *)
+  for _ = 1 to extra_stub_links do
+    let a = Mortar_util.Rng.int rng stubs and b = Mortar_util.Rng.int rng stubs in
+    if a <> b then add_edge g stub_router.(a) stub_router.(b) (ms 2.0)
+  done;
+  (* End hosts spread uniformly (round-robin over a shuffled stub order, so
+     counts differ by at most one). *)
+  let order = Array.init stubs (fun i -> i) in
+  Mortar_util.Rng.shuffle rng order;
+  let stub = Array.make hosts 0 in
+  let host_vertices =
+    Array.init hosts (fun i ->
+        let s = order.(i mod stubs) in
+        stub.(i) <- s;
+        let v = add_vertex g in
+        add_edge g v stub_router.(s) (ms 1.0);
+        v)
+  in
+  finalize g ~host_vertices ~stub
+
+let star ~link_delay ~hosts =
+  assert (hosts > 0 && link_delay >= 0.0);
+  let g = graph_create () in
+  let hub = add_vertex g in
+  let host_vertices =
+    Array.init hosts (fun _ ->
+        let v = add_vertex g in
+        add_edge g v hub link_delay;
+        v)
+  in
+  finalize g ~host_vertices ~stub:(Array.make hosts 0)
+
+let hosts t = t.n_hosts
+
+let latency t a b = t.lat.(a).(b)
+
+let hops t a b = t.hop.(a).(b)
+
+let max_latency t = t.max_lat
+
+let stub_of t h = t.stub.(h)

@@ -1,0 +1,58 @@
+(** Network topologies for emulation.
+
+    The paper evaluates Mortar over ModelNet with Inet-generated
+    transit-stub topologies: 34 stub domains, 680 end hosts uniformly
+    spread across them, with the latency classes
+
+    - host to stub router: 1 ms
+    - stub router to stub router: 2 ms
+    - stub router to transit router: 10 ms
+    - transit router to transit router: 20 ms
+
+    yielding a longest host-to-host one-way delay of ~104 ms. This module
+    generates such topologies (plus a star for the Wi-Fi experiment of
+    §7.4) and precomputes all-pairs one-way latency and physical hop counts
+    between end hosts by running Dijkstra over the full router graph.
+
+    End hosts are identified by dense indices [0 .. hosts - 1]; routers are
+    internal. *)
+
+type host = int
+
+type t
+
+val transit_stub :
+  Mortar_util.Rng.t ->
+  ?transits:int ->
+  ?stubs:int ->
+  ?extra_stub_links:int ->
+  hosts:int ->
+  unit ->
+  t
+(** [transit_stub rng ~hosts ()] builds a random transit-stub topology.
+    [transits] (default 8) transit routers form a random connected ring plus
+    chords; [stubs] (default 34) stub routers each attach to a random
+    transit; [extra_stub_links] (default [stubs / 4]) random stub-stub
+    shortcut links are added; [hosts] end hosts are spread uniformly across
+    stubs. Latencies follow the paper's classes. *)
+
+val star : link_delay:float -> hosts:int -> t
+(** [star ~link_delay ~hosts] is a hub-and-spoke topology: every pair of
+    hosts is [2 * link_delay] apart (the Wi-Fi testbed of §7.4 uses 1 ms
+    links, 2 ms one-way host-to-host). *)
+
+val hosts : t -> int
+(** Number of end hosts. *)
+
+val latency : t -> host -> host -> float
+(** One-way latency in seconds between two hosts; [0.] for a host to
+    itself. *)
+
+val hops : t -> host -> host -> int
+(** Number of physical links on the (latency-)shortest path. *)
+
+val max_latency : t -> float
+(** Largest host-to-host one-way latency. *)
+
+val stub_of : t -> host -> int
+(** Index of the stub domain hosting a host ([0] for {!star}). *)

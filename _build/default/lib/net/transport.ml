@@ -1,0 +1,101 @@
+type 'a t = {
+  engine : Mortar_sim.Engine.t;
+  topo : Topology.t;
+  loss : float;
+  bucket : float;
+  rng : Mortar_util.Rng.t;
+  handlers : (Topology.host, src:Topology.host -> 'a -> unit) Hashtbl.t;
+  up : bool array;
+  seen : (Topology.host, (string, unit) Hashtbl.t) Hashtbl.t;
+  by_kind : (string, Mortar_sim.Series.t) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create engine topo ?(loss = 0.0) ?(bucket = 1.0) ~rng () =
+  {
+    engine;
+    topo;
+    loss;
+    bucket;
+    rng;
+    handlers = Hashtbl.create 64;
+    up = Array.make (Topology.hosts topo) true;
+    seen = Hashtbl.create 64;
+    by_kind = Hashtbl.create 8;
+    sent = 0;
+    delivered = 0;
+  }
+
+let register t host f = Hashtbl.replace t.handlers host f
+
+let set_up t host b = t.up.(host) <- b
+
+let is_up t host = t.up.(host)
+
+let up_count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.up
+
+let account t ~kind ~bytes =
+  let series =
+    match Hashtbl.find_opt t.by_kind kind with
+    | Some s -> s
+    | None ->
+      let s = Mortar_sim.Series.create ~bucket:t.bucket in
+      Hashtbl.replace t.by_kind kind s;
+      s
+  in
+  Mortar_sim.Series.incr series ~time:(Mortar_sim.Engine.now t.engine) bytes
+
+let duplicate t ~dst ~key =
+  let table =
+    match Hashtbl.find_opt t.seen dst with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 256 in
+      Hashtbl.replace t.seen dst tbl;
+      tbl
+  in
+  if Hashtbl.mem table key then true
+  else begin
+    Hashtbl.replace table key ();
+    false
+  end
+
+let send t ~src ~dst ~size ?(kind = "data") ?key payload =
+  t.sent <- t.sent + 1;
+  if t.up.(src) && t.up.(dst) && (t.loss = 0.0 || Mortar_util.Rng.float t.rng 1.0 >= t.loss)
+  then begin
+    let hops = max 1 (Topology.hops t.topo src dst) in
+    account t ~kind ~bytes:(float_of_int (size * hops));
+    let delay = Topology.latency t.topo src dst in
+    let deliver () =
+      if t.up.(dst) && t.up.(src) then begin
+        let dup = match key with Some k -> duplicate t ~dst ~key:k | None -> false in
+        if not dup then
+          match Hashtbl.find_opt t.handlers dst with
+          | Some f ->
+            t.delivered <- t.delivered + 1;
+            f ~src payload
+          | None -> ()
+      end
+    in
+    ignore (Mortar_sim.Engine.schedule t.engine ~after:delay deliver)
+  end
+
+let bytes_series t ~kind = Hashtbl.find_opt t.by_kind kind
+
+let total_bytes_of_kind t ~kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | None -> 0.0
+  | Some s ->
+    List.fold_left (fun acc (r : Mortar_sim.Series.row) -> acc +. r.sum) 0.0
+      (Mortar_sim.Series.rows s)
+
+let kinds t = Hashtbl.fold (fun k _ acc -> k :: acc) t.by_kind []
+
+let total_bytes t =
+  List.fold_left (fun acc k -> acc +. total_bytes_of_kind t ~kind:k) 0.0 (kinds t)
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered

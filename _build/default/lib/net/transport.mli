@@ -1,0 +1,68 @@
+(** Best-effort datagram transport over a simulated topology.
+
+    Models the role UdpCC played in the Mortar prototype: unreliable,
+    unordered, duplicate-suppressed datagrams. Delivery takes the one-way
+    latency from the topology; messages involving a down host — at send or
+    at delivery time — are silently dropped, which models both node failure
+    and "last-mile" disconnection (§7.2). An optional uniform loss rate
+    models residual packet loss.
+
+    Bandwidth accounting follows the paper's "total network load" metric:
+    each delivered-or-dropped-in-flight message contributes
+    [size * physical hops] bytes, bucketed by virtual time and by a
+    caller-supplied traffic kind (e.g. ["data"], ["heartbeat"], ["control"])
+    so that experiments can report overhead splits (Fig 14). *)
+
+type 'a t
+(** A transport carrying payloads of type ['a]. *)
+
+val create :
+  Mortar_sim.Engine.t ->
+  Topology.t ->
+  ?loss:float ->
+  ?bucket:float ->
+  rng:Mortar_util.Rng.t ->
+  unit ->
+  'a t
+(** [loss] is a per-message drop probability (default [0.]); [bucket] the
+    bandwidth-series bucket width in seconds (default [1.]). *)
+
+val register : 'a t -> Topology.host -> (src:Topology.host -> 'a -> unit) -> unit
+(** Install the delivery handler for a host; replaces any previous one. *)
+
+val send :
+  'a t ->
+  src:Topology.host ->
+  dst:Topology.host ->
+  size:int ->
+  ?kind:string ->
+  ?key:string ->
+  'a ->
+  unit
+(** Fire-and-forget send of [size] bytes. [kind] tags bandwidth accounting
+    (default ["data"]). When [key] is given, the receiving host drops any
+    later message carrying the same key (duplicate suppression, §4.3).
+    Sending to self delivers after a zero-latency hop on the next event. *)
+
+val set_up : _ t -> Topology.host -> bool -> unit
+(** Mark a host reachable/unreachable. Messages in flight towards a host
+    that goes down are lost. *)
+
+val is_up : _ t -> Topology.host -> bool
+(** Hosts start up. *)
+
+val up_count : _ t -> int
+
+val bytes_series : _ t -> kind:string -> Mortar_sim.Series.t option
+(** Link-bytes series for one traffic kind, if any traffic was sent. *)
+
+val total_bytes : _ t -> float
+(** All link-bytes since creation, across kinds. *)
+
+val total_bytes_of_kind : _ t -> kind:string -> float
+
+val kinds : _ t -> string list
+
+val messages_sent : _ t -> int
+
+val messages_delivered : _ t -> int

@@ -1,0 +1,1 @@
+lib/overlay/builder.ml: Array List Mortar_cluster Mortar_net Mortar_util Tree

@@ -1,0 +1,1 @@
+lib/overlay/builder.mli: Mortar_net Mortar_util Tree

@@ -1,0 +1,1 @@
+lib/overlay/connectivity.ml: Array Builder Hashtbl List Mortar_util Option Printf Queue Tree

@@ -1,0 +1,1 @@
+lib/overlay/connectivity.mli: Mortar_util Tree

@@ -1,0 +1,1 @@
+lib/overlay/sibling.ml: Array Builder Hashtbl List Mortar_util Option Tree

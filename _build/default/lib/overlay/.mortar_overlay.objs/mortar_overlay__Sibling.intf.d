@@ -1,0 +1,1 @@
+lib/overlay/sibling.mli: Mortar_util Tree

@@ -1,0 +1,1 @@
+lib/overlay/tree.ml: Array Format Hashtbl List Option Queue

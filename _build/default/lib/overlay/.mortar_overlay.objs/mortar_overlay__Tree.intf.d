@@ -1,0 +1,1 @@
+lib/overlay/tree.mli: Format

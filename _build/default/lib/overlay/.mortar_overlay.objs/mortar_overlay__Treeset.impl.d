@@ -1,0 +1,1 @@
+lib/overlay/treeset.ml: Array Builder Hashtbl List Sibling Tree

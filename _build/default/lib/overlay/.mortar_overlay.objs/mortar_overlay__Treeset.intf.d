@@ -1,0 +1,1 @@
+lib/overlay/treeset.mli: Mortar_util Tree

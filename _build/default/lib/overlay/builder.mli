@@ -1,0 +1,31 @@
+(** Tree construction: random baselines and the network-aware planner.
+
+    {!random_tree} is the baseline used throughout the paper's §2.1
+    simulation and §7.3 comparison: a complete [bf]-ary tree shape with
+    uniformly shuffled node labels.
+
+    {!plan_primary} is Mortar's physical dataflow planner (§3.1): recursive
+    clustering of network coordinates; each recursion level runs k-means
+    with [k = bf], makes the medoid of each cluster a child of the current
+    root, and recurses into the clusters. The recursion stops when a node
+    set fits within the branching factor. *)
+
+val random_tree : Mortar_util.Rng.t -> bf:int -> root:int -> nodes:int array -> Tree.t
+(** [random_tree rng ~bf ~root ~nodes] builds a complete [bf]-ary tree over
+    [root] plus [nodes] ([nodes] must not contain [root]), filling levels
+    left to right with shuffled labels. *)
+
+val plan_primary :
+  Mortar_util.Rng.t ->
+  coords:Mortar_util.Vec.t array ->
+  bf:int ->
+  root:int ->
+  nodes:int array ->
+  Tree.t
+(** [plan_primary rng ~coords ~bf ~root ~nodes] recursively clusters
+    [nodes] (indices into [coords]) under [root]. [nodes] must not contain
+    [root]. *)
+
+val overlay_latency_to_root : Tree.t -> Mortar_net.Topology.t -> int -> float
+(** Sum of per-hop topology latencies from a node to the root along tree
+    edges — the minimum time for its summary to reach the root (§7.3). *)

@@ -1,0 +1,79 @@
+module Rng = Mortar_util.Rng
+
+(* Positions are identified by the primary tree's node at that position;
+   [label] maps position -> node currently occupying it. Rotations swap
+   labels, leaving the shape untouched, so the final tree is read off by
+   relabelling the primary's edges. *)
+let derive rng primary =
+  let label = Hashtbl.create (Tree.size primary) in
+  let label_of p = Option.value (Hashtbl.find_opt label p) ~default:p in
+  let set_label p l = Hashtbl.replace label p l in
+  let rotate position =
+    match Tree.children primary position with
+    | [] -> ()
+    | cs ->
+      let child = List.nth cs (Rng.int rng (List.length cs)) in
+      let lp = label_of position and lc = label_of child in
+      set_label position lc;
+      set_label child lp
+  in
+  List.iter
+    (fun p -> if not (Tree.is_leaf primary p) then rotate p)
+    (Tree.post_order primary);
+  (* Rotating the root subtree may move another node into the root
+     position, but every tree in the set must deliver to the same root
+     operator — so pin the original root's label back, exchanging it with
+     whatever landed there. *)
+  let original_root = Tree.root primary in
+  let displaced = label_of original_root in
+  let edges =
+    List.map
+      (fun (c, p) ->
+        let relabel n =
+          let l = label_of n in
+          if l = displaced then original_root
+          else if l = original_root then displaced
+          else l
+        in
+        (relabel c, relabel p))
+      (Tree.edges primary)
+  in
+  Tree.of_parents ~root:original_root edges
+
+let derive_many rng primary ~n = List.init n (fun _ -> derive rng primary)
+
+(* Rebuild each level-1 subtree as a random bf-ary tree over its own node
+   set, under a freshly drawn head. Cluster membership — the planner's
+   network-awareness — is preserved exactly; everything below the root is
+   re-drawn, so parents are independent across siblings. *)
+let derive_cluster_shuffle rng ~bf primary =
+  let root = Tree.root primary in
+  let edges = ref [] in
+  List.iter
+    (fun head ->
+      let members =
+        let rec collect n acc =
+          List.fold_left (fun acc c -> collect c acc) (n :: acc) (Tree.children primary n)
+        in
+        Array.of_list (collect head [])
+      in
+      let new_head = members.(Rng.int rng (Array.length members)) in
+      let rest = Array.of_list (List.filter (fun n -> n <> new_head) (Array.to_list members)) in
+      let sub = Builder.random_tree rng ~bf ~root:new_head ~nodes:rest in
+      edges := (new_head, root) :: (Tree.edges sub @ !edges))
+    (Tree.children primary root);
+  Tree.of_parents ~root !edges
+
+let derive_many_cluster_shuffle rng ~bf primary ~n =
+  List.init n (fun _ -> derive_cluster_shuffle rng ~bf primary)
+
+let interior_overlap a b =
+  let ia = Tree.internal_nodes a in
+  let ib = Tree.internal_nodes b in
+  match ia with
+  | [] -> 1.0
+  | _ ->
+    let set_b = Hashtbl.create (List.length ib) in
+    List.iter (fun n -> Hashtbl.replace set_b n ()) ib;
+    let common = List.length (List.filter (Hashtbl.mem set_b) ia) in
+    float_of_int common /. float_of_int (List.length ia)

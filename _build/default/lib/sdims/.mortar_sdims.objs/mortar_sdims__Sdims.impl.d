@@ -1,0 +1,1 @@
+lib/sdims/sdims.ml: Hashtbl List Mortar_dht Mortar_util String

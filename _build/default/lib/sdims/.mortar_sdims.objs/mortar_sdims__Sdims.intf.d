@@ -1,0 +1,1 @@
+lib/sdims/sdims.mli: Mortar_dht Mortar_util

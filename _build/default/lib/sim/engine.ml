@@ -1,0 +1,98 @@
+type handle = { mutable cancelled : bool }
+
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  h : handle;
+}
+
+type t = {
+  queue : event Mortar_util.Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable fired : int;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    queue = Mortar_util.Heap.create ~cmp:compare_event;
+    clock = 0.0;
+    next_seq = 0;
+    live = 0;
+    fired = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~at f =
+  let at = if at < t.clock then t.clock else at in
+  let h = { cancelled = false } in
+  let ev = { time = at; seq = t.next_seq; action = f; h } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Mortar_util.Heap.push t.queue ev;
+  h
+
+let schedule t ~after f =
+  let after = if after < 0.0 then 0.0 else after in
+  schedule_at t ~at:(t.clock +. after) f
+
+let cancel h = h.cancelled <- true
+
+let cancelled h = h.cancelled
+
+let every t ?phase ~period f =
+  assert (period > 0.0);
+  let phase = Option.value phase ~default:period in
+  (* The caller cancels via the outer handle; each tick checks it before
+     re-arming, so cancellation takes effect at the next tick boundary. *)
+  let outer = { cancelled = false } in
+  let rec tick () =
+    if not outer.cancelled then begin
+      f ();
+      if not outer.cancelled then ignore (schedule t ~after:period tick)
+    end
+  in
+  ignore (schedule t ~after:phase tick);
+  outer
+
+let rec step t =
+  match Mortar_util.Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.live <- t.live - 1;
+    if ev.h.cancelled then step t
+    else begin
+      t.clock <- ev.time;
+      t.fired <- t.fired + 1;
+      ev.action ();
+      true
+    end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+    let continue = ref true in
+    while !continue do
+      match Mortar_util.Heap.peek t.queue with
+      | None -> continue := false
+      | Some ev when ev.time > stop -> continue := false
+      | Some _ -> ignore (step t)
+    done;
+    if t.clock < stop then t.clock <- stop
+
+let pending t =
+  (* [live] counts queued events including cancelled ones that have not been
+     popped yet; subtracting lazily would require a scan, so report the
+     number of queued events whose handles are still active. *)
+  List.length
+    (List.filter (fun ev -> not ev.h.cancelled) (Mortar_util.Heap.to_list t.queue))
+
+let fired t = t.fired

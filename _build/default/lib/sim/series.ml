@@ -1,0 +1,75 @@
+type bucket = { mutable count : int; mutable sum : float }
+
+type t = {
+  width : float;
+  table : (int, bucket) Hashtbl.t;
+  mutable last : int;
+}
+
+let create ~bucket =
+  assert (bucket > 0.0);
+  { width = bucket; table = Hashtbl.create 64; last = -1 }
+
+let bucket_of t time = int_of_float (floor (time /. t.width))
+
+let find t i =
+  match Hashtbl.find_opt t.table i with
+  | Some b -> b
+  | None ->
+    let b = { count = 0; sum = 0.0 } in
+    Hashtbl.replace t.table i b;
+    if i > t.last then t.last <- i;
+    b
+
+let add t ~time x =
+  let b = find t (bucket_of t time) in
+  b.count <- b.count + 1;
+  b.sum <- b.sum +. x
+
+let incr t ~time x =
+  let b = find t (bucket_of t time) in
+  b.sum <- b.sum +. x
+
+type row = { t_start : float; count : int; sum : float; mean : float }
+
+let rows t =
+  let rec loop i acc =
+    if i < 0 then acc
+    else begin
+      let row =
+        match Hashtbl.find_opt t.table i with
+        | None -> { t_start = float_of_int i *. t.width; count = 0; sum = 0.0; mean = nan }
+        | Some b ->
+          {
+            t_start = float_of_int i *. t.width;
+            count = b.count;
+            sum = b.sum;
+            mean = (if b.count = 0 then nan else b.sum /. float_of_int b.count);
+          }
+      in
+      loop (i - 1) (row :: acc)
+    end
+  in
+  loop t.last []
+
+let fold_between t t0 t1 =
+  let i0 = bucket_of t t0 and i1 = bucket_of t t1 in
+  let count = ref 0 and sum = ref 0.0 in
+  for i = i0 to min i1 t.last do
+    (* Buckets fully inside [t0, t1); the right-edge bucket is included only
+       when t1 lands past its start, matching half-open semantics closely
+       enough for bucket-granularity reporting. *)
+    if float_of_int i *. t.width < t1 then
+      match Hashtbl.find_opt t.table i with
+      | None -> ()
+      | Some b ->
+        count := !count + b.count;
+        sum := !sum +. b.sum
+  done;
+  (!count, !sum)
+
+let mean_between t t0 t1 =
+  let count, sum = fold_between t t0 t1 in
+  if count = 0 then nan else sum /. float_of_int count
+
+let sum_between t t0 t1 = snd (fold_between t t0 t1)

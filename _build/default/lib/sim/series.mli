@@ -1,0 +1,34 @@
+(** Time-bucketed metric series.
+
+    Experiments record measurements (completeness, path length, bandwidth)
+    against virtual time and report them as fixed-width time buckets — the
+    time-series panels of Figures 14, 15 and 16. *)
+
+type t
+
+val create : bucket:float -> t
+(** [create ~bucket] accumulates samples into buckets of [bucket] seconds. *)
+
+val add : t -> time:float -> float -> unit
+(** Record a sample at the given virtual time. *)
+
+val incr : t -> time:float -> float -> unit
+(** Add to the bucket's running sum without counting a sample mean — use for
+    counters such as bytes transferred. [incr] and [add] may not be mixed on
+    one series. *)
+
+type row = {
+  t_start : float;  (** Bucket left edge, seconds. *)
+  count : int;      (** Samples in the bucket. *)
+  sum : float;
+  mean : float;     (** [nan] for empty buckets. *)
+}
+
+val rows : t -> row list
+(** All buckets from time 0 through the last touched bucket, in order;
+    untouched buckets appear with [count = 0]. *)
+
+val mean_between : t -> float -> float -> float
+(** Mean of samples with time in [\[t0, t1)]; [nan] if none. *)
+
+val sum_between : t -> float -> float -> float

@@ -1,0 +1,1 @@
+lib/wifi/wifi.ml: Array Float List Mortar_core Mortar_util

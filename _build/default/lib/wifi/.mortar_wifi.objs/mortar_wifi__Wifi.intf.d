@@ -1,0 +1,1 @@
+lib/wifi/wifi.mli: Mortar_core Mortar_util

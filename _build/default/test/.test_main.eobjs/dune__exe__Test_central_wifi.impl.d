@@ -1,0 +1,1 @@
+test/test_central_wifi.ml: Alcotest Array List Mortar_central Mortar_core Mortar_util Mortar_wifi Option Printf

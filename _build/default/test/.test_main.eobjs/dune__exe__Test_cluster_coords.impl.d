@@ -1,0 +1,1 @@
+test/test_cluster_coords.ml: Alcotest Array List Mortar_cluster Mortar_coords Mortar_net Mortar_util Printf

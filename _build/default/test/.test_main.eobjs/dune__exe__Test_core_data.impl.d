@@ -1,0 +1,1 @@
+test/test_core_data.ml: Alcotest List Mortar_core Option Printf QCheck QCheck_alcotest

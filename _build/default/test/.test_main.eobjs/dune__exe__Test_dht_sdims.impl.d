@@ -1,0 +1,1 @@
+test/test_dht_sdims.ml: Alcotest Array Fun List Mortar_dht Mortar_net Mortar_sdims Mortar_sim Mortar_util Option Printf

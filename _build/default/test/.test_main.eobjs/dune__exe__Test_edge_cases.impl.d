@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Format List Mortar_central Mortar_core Mortar_net Mortar_overlay Mortar_sim Mortar_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_emulation.ml: Alcotest Array List Mortar_core Mortar_emul Mortar_experiments Mortar_net Mortar_overlay Mortar_sim Mortar_util Printf

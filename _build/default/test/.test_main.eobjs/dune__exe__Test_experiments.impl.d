@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Mortar_experiments Printf String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Mortar_core Mortar_emul Mortar_net Mortar_overlay Mortar_sim Mortar_util Printf

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Mortar_net Mortar_sim Mortar_util Printf

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array List Mortar_overlay Mortar_util Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_peer.ml: Alcotest Array Fun List Mortar_core Mortar_emul Mortar_net Mortar_overlay Mortar_util Printf

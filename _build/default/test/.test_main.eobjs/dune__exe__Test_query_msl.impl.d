@@ -1,0 +1,1 @@
+test/test_query_msl.ml: Alcotest Array Hashtbl List Mortar_core Mortar_overlay Mortar_util Option Printf

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest List Mortar_core Mortar_util QCheck QCheck_alcotest

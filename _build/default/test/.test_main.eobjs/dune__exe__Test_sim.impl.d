@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Mortar_sim Mortar_util Printf

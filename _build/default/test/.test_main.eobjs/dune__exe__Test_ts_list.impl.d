@@ -1,0 +1,1 @@
+test/test_ts_list.ml: Alcotest List Mortar_core QCheck QCheck_alcotest

@@ -1,0 +1,143 @@
+(* Tests for k-means, X-Means, and Vivaldi coordinates. *)
+
+module Kmeans = Mortar_cluster.Kmeans
+module Xmeans = Mortar_cluster.Xmeans
+module Vivaldi = Mortar_coords.Vivaldi
+module Rng = Mortar_util.Rng
+module Vec = Mortar_util.Vec
+
+(* Three well-separated 2-d blobs. *)
+let blobs rng ~per_blob =
+  let centers = [ (0.0, 0.0); (10.0, 0.0); (0.0, 10.0) ] in
+  List.concat_map
+    (fun (cx, cy) ->
+      List.init per_blob (fun _ ->
+          [| cx +. Rng.gaussian rng ~mu:0.0 ~sigma:0.5; cy +. Rng.gaussian rng ~mu:0.0 ~sigma:0.5 |]))
+    centers
+  |> Array.of_list
+
+let test_kmeans_recovers_blobs () =
+  let rng = Rng.create 21 in
+  let points = blobs rng ~per_blob:40 in
+  let r = Kmeans.cluster rng ~k:3 points in
+  Alcotest.(check int) "three centroids" 3 (Array.length r.Kmeans.centroids);
+  (* Every point is within 3 units of its centroid (blobs have sigma 0.5). *)
+  Array.iteri
+    (fun i p ->
+      let c = r.Kmeans.centroids.(r.Kmeans.assignment.(i)) in
+      Alcotest.(check bool) "tight assignment" true (Vec.dist p c < 3.0))
+    points
+
+let test_kmeans_assignment_is_nearest () =
+  let rng = Rng.create 22 in
+  let points = blobs rng ~per_blob:30 in
+  let r = Kmeans.cluster rng ~k:3 points in
+  Array.iteri
+    (fun i p ->
+      let assigned = Vec.dist_sq p r.Kmeans.centroids.(r.Kmeans.assignment.(i)) in
+      Array.iter
+        (fun c ->
+          Alcotest.(check bool) "assigned is nearest" true (assigned <= Vec.dist_sq p c +. 1e-9))
+        r.Kmeans.centroids)
+    points
+
+let test_kmeans_k_geq_n () =
+  let rng = Rng.create 23 in
+  let points = [| [| 0.0 |]; [| 1.0 |] |] in
+  let r = Kmeans.cluster rng ~k:5 points in
+  Alcotest.(check int) "one cluster per point" 2 (Array.length r.Kmeans.centroids);
+  Alcotest.(check (float 1e-9)) "zero inertia" 0.0 r.Kmeans.inertia
+
+let test_kmeans_members_partition () =
+  let rng = Rng.create 24 in
+  let points = blobs rng ~per_blob:20 in
+  let r = Kmeans.cluster rng ~k:3 points in
+  let total =
+    List.fold_left (fun acc c -> acc + List.length (Kmeans.members r c)) 0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "members partition points" (Array.length points) total
+
+let test_kmeans_medoid () =
+  let points = [| [| 0.0 |]; [| 1.0 |]; [| 10.0 |] |] in
+  (* Medoid of all three: centroid at ~3.7; the closest member is 1.0. *)
+  Alcotest.(check int) "medoid" 1 (Kmeans.medoid_of points [ 0; 1; 2 ]);
+  Alcotest.check_raises "empty members" (Invalid_argument "Kmeans.medoid_of: empty member list")
+    (fun () -> ignore (Kmeans.medoid_of points []))
+
+let test_xmeans_finds_three () =
+  let rng = Rng.create 25 in
+  let points = blobs rng ~per_blob:50 in
+  let r = Xmeans.cluster rng ~k_min:1 ~k_max:10 points in
+  let k = Array.length r.Kmeans.centroids in
+  Alcotest.(check bool) (Printf.sprintf "k close to 3 (got %d)" k) true (k >= 3 && k <= 5)
+
+let test_xmeans_respects_kmax () =
+  let rng = Rng.create 26 in
+  let points = blobs rng ~per_blob:50 in
+  let r = Xmeans.cluster rng ~k_min:1 ~k_max:2 points in
+  Alcotest.(check bool) "k <= k_max" true (Array.length r.Kmeans.centroids <= 2)
+
+let test_xmeans_bic_prefers_better_fit () =
+  let rng = Rng.create 27 in
+  let points = blobs rng ~per_blob:50 in
+  let k1 = Kmeans.cluster rng ~k:1 points in
+  let k3 = Kmeans.cluster rng ~k:3 points in
+  Alcotest.(check bool) "bic(3 blobs as 3) > bic(as 1)" true
+    (Xmeans.bic points k3 > Xmeans.bic points k1)
+
+let test_vivaldi_converges () =
+  let rng = Rng.create 28 in
+  let topo = Mortar_net.Topology.transit_stub (Rng.create 2) ~transits:4 ~stubs:8 ~hosts:80 () in
+  let s = Vivaldi.create topo ~rng () in
+  let initial = Vivaldi.relative_error s in
+  Vivaldi.converge s ~rounds:15 ~samples:8;
+  let final = Vivaldi.relative_error s in
+  Alcotest.(check bool)
+    (Printf.sprintf "error drops (%.2f -> %.2f)" initial final)
+    true
+    (final < initial && final < 0.45)
+
+let test_vivaldi_error_estimates_shrink () =
+  let rng = Rng.create 29 in
+  let topo = Mortar_net.Topology.transit_stub (Rng.create 2) ~transits:4 ~stubs:8 ~hosts:40 () in
+  let s = Vivaldi.create topo ~rng () in
+  Vivaldi.converge s ~rounds:15 ~samples:8;
+  (* All nodes have moved off their initial unit error. *)
+  Array.iteri
+    (fun _ c -> Alcotest.(check bool) "coordinate moved" true (Vec.norm c > 0.0))
+    (Vivaldi.coordinates s)
+
+let test_vivaldi_predicts_neighbors () =
+  let rng = Rng.create 30 in
+  let topo = Mortar_net.Topology.transit_stub (Rng.create 2) ~transits:4 ~stubs:8 ~hosts:80 () in
+  let s = Vivaldi.create topo ~rng () in
+  Vivaldi.converge s ~rounds:20 ~samples:8;
+  let coords = Vivaldi.coordinates s in
+  (* Coordinate distances should correlate with latencies: averages over
+     close pairs must be below averages over far pairs. *)
+  let close = ref [] and far = ref [] in
+  for a = 0 to 79 do
+    for b = a + 1 to 79 do
+      let l = Mortar_net.Topology.latency topo a b in
+      let d = Vec.dist coords.(a) coords.(b) in
+      if l < 0.01 then close := d :: !close else if l > 0.04 then far := d :: !far
+    done
+  done;
+  let mean l = Mortar_util.Stats.mean (Array.of_list l) in
+  Alcotest.(check bool) "close pairs closer in coordinate space" true
+    (mean !close < mean !far)
+
+let tests =
+  [
+    Alcotest.test_case "kmeans recovers blobs" `Quick test_kmeans_recovers_blobs;
+    Alcotest.test_case "kmeans nearest assignment" `Quick test_kmeans_assignment_is_nearest;
+    Alcotest.test_case "kmeans k >= n" `Quick test_kmeans_k_geq_n;
+    Alcotest.test_case "kmeans members partition" `Quick test_kmeans_members_partition;
+    Alcotest.test_case "kmeans medoid" `Quick test_kmeans_medoid;
+    Alcotest.test_case "xmeans finds three blobs" `Quick test_xmeans_finds_three;
+    Alcotest.test_case "xmeans respects k_max" `Quick test_xmeans_respects_kmax;
+    Alcotest.test_case "xmeans bic ordering" `Quick test_xmeans_bic_prefers_better_fit;
+    Alcotest.test_case "vivaldi converges" `Quick test_vivaldi_converges;
+    Alcotest.test_case "vivaldi coordinates move" `Quick test_vivaldi_error_estimates_shrink;
+    Alcotest.test_case "vivaldi predicts neighbors" `Quick test_vivaldi_predicts_neighbors;
+  ]

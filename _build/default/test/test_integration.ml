@@ -1,0 +1,332 @@
+(* End-to-end tests: deploy queries on a simulated cluster and check the
+   root's results. These are the highest-value tests in the suite — they
+   exercise planning, install, striping, TS merging, heartbeats, and
+   eviction together. *)
+
+module D = Mortar_emul.Deployment
+module Peer = Mortar_core.Peer
+module Query = Mortar_core.Query
+module Value = Mortar_core.Value
+module Window = Mortar_core.Window
+
+let make_deployment ?(seed = 7) ?(hosts = 64) ?config () =
+  let rng = Mortar_util.Rng.create (seed * 131) in
+  let topo = Mortar_net.Topology.transit_stub rng ~transits:4 ~stubs:8 ~hosts () in
+  let d = D.create ~seed ?config topo in
+  D.converge_coordinates d ();
+  d
+
+let count_query d ~name ~nodes ~mode =
+  let meta =
+    Query.make_meta ~name ~source:"ones" ~op:Mortar_core.Op.Sum
+      ~window:(Window.tumbling 1.0) ~mode ~root:0 ~degree:4
+      ~total_nodes:(Array.length nodes + 1) ()
+  in
+  let treeset = D.plan d ~bf:4 ~d:4 ~root:0 ~nodes () in
+  (meta, treeset)
+
+(* Install a node-counting sum query over all hosts and expect full
+   completeness in steady state. *)
+let test_sum_all_nodes () =
+  let d = make_deployment () in
+  let n = D.hosts d in
+  let nodes = Array.init (n - 1) (fun i -> i + 1) in
+  let meta, treeset = count_query d ~name:"q1" ~nodes ~mode:Query.Syncless in
+  for i = 0 to n - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = ref [] in
+  Peer.on_result (D.peer d 0) (fun r -> results := r :: !results);
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  D.run_until d 60.0;
+  Alcotest.(check bool) "got results" true (List.length !results > 20);
+  (* Steady state: drop the first half, check completeness and value. *)
+  let steady =
+    List.filter (fun (r : Peer.result) -> r.emitted_at_local > 30.0) !results
+  in
+  Alcotest.(check bool) "steady results exist" true (steady <> []);
+  (* Best-effort semantics: assert on the steady-state aggregate, allowing
+     the occasional eviction race to clip a window. *)
+  let completenesses =
+    Array.of_list (List.map (fun (r : Peer.result) -> r.completeness) steady)
+  in
+  let mean = Mortar_util.Stats.mean completenesses in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean steady completeness >= 0.95 (got %.3f)" mean)
+    true (mean >= 0.95);
+  let good =
+    List.length (List.filter (fun (r : Peer.result) -> r.completeness >= 0.95) steady)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "most slots >= 0.95 complete (%d/%d)" good (List.length steady))
+    true (float_of_int good >= 0.85 *. float_of_int (List.length steady));
+  List.iter
+    (fun (r : Peer.result) ->
+      let v = Value.to_float r.value in
+      Alcotest.(check bool)
+        (Printf.sprintf "sum equals included count (got %.1f vs %d)" v r.count)
+        true
+        (abs_float (v -. float_of_int r.count) < 0.5))
+    steady
+
+(* All queries should install on every node quickly without failures. *)
+let test_install_coverage () =
+  let d = make_deployment () in
+  let n = D.hosts d in
+  let nodes = Array.init (n - 1) (fun i -> i + 1) in
+  let meta, treeset = count_query d ~name:"q2" ~nodes ~mode:Query.Syncless in
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  D.run_until d 11.0;
+  let installed = ref 0 in
+  for i = 0 to n - 1 do
+    if Peer.has_query (D.peer d i) "q2" then incr installed
+  done;
+  Alcotest.(check int) "all nodes installed" n !installed
+
+(* Disconnected nodes are excluded but the rest keep reporting. *)
+let test_sum_with_failures () =
+  let d = make_deployment ~seed:9 () in
+  let n = D.hosts d in
+  let nodes = Array.init (n - 1) (fun i -> i + 1) in
+  let meta, treeset = count_query d ~name:"q3" ~nodes ~mode:Query.Syncless in
+  for i = 0 to n - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = ref [] in
+  Peer.on_result (D.peer d 0) (fun r -> results := r :: !results);
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  D.at d 30.0 (fun () -> ignore (D.fail_random d ~fraction:0.2 ~protect:[ 0 ] ()));
+  D.run_until d 90.0;
+  let late =
+    List.filter (fun (r : Peer.result) -> r.emitted_at_local > 60.0) !results
+  in
+  Alcotest.(check bool) "late results exist" true (late <> []);
+  (* The achievable bound is union-graph connectivity over live nodes
+     (§2.1): compare against it, not the raw live count. *)
+  let up = D.up_hosts d in
+  let reachable =
+    Mortar_overlay.Connectivity.union_reachable
+      (Mortar_overlay.Treeset.trees treeset)
+      ~dead:(fun node -> not (List.mem node up))
+  in
+  let bound = List.length reachable in
+  let values = List.map (fun (r : Peer.result) -> Value.to_float r.value) late in
+  let mean = Mortar_util.Stats.mean (Array.of_list values) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean sum close to union-connectivity bound (got %.1f, bound %d)" mean
+       bound)
+    true
+    (mean >= 0.9 *. float_of_int bound && mean <= 1.02 *. float_of_int n)
+
+(* Remove reaches every node. *)
+let test_remove () =
+  let d = make_deployment ~seed:11 () in
+  let n = D.hosts d in
+  let nodes = Array.init (n - 1) (fun i -> i + 1) in
+  let meta, treeset = count_query d ~name:"q4" ~nodes ~mode:Query.Syncless in
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  D.at d 15.0 (fun () -> Peer.remove_query (D.peer d 0) ~name:"q4");
+  D.run_until d 40.0;
+  let still = ref 0 in
+  for i = 0 to n - 1 do
+    if Peer.has_query (D.peer d i) "q4" then incr still
+  done;
+  Alcotest.(check int) "query removed everywhere" 0 !still
+
+(* Reconciliation installs the query on nodes that were down during the
+   install multicast (§7.1). *)
+let test_reconciliation_install () =
+  let d = make_deployment ~seed:13 () in
+  let n = D.hosts d in
+  let nodes = Array.init (n - 1) (fun i -> i + 1) in
+  let meta, treeset = count_query d ~name:"q5" ~nodes ~mode:Query.Syncless in
+  D.at d 0.5 (fun () -> ignore (D.fail_random d ~fraction:0.3 ~protect:[ 0 ] ()));
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  D.at d 30.0 (fun () -> D.reconnect_all d);
+  D.run_until d 90.0;
+  let installed = ref 0 in
+  for i = 0 to n - 1 do
+    if Peer.has_query (D.peer d i) "q5" then incr installed
+  done;
+  Alcotest.(check int) "reconciliation covered all nodes" n !installed
+
+(* Residual packet loss: the transport drops 3% of messages uniformly;
+   heartbeats, installs and data all cope (reconciliation and best-effort
+   semantics absorb it). *)
+let test_with_packet_loss () =
+  let rng = Mortar_util.Rng.create 303 in
+  let topo = Mortar_net.Topology.transit_stub rng ~transits:4 ~stubs:8 ~hosts:64 () in
+  let d = D.create ~seed:303 ~loss:0.03 topo in
+  D.converge_coordinates d ();
+  let nodes = Array.init 63 (fun i -> i + 1) in
+  let meta, treeset = count_query d ~name:"ql" ~nodes ~mode:Query.Syncless in
+  for i = 0 to 63 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = ref [] in
+  Peer.on_result (D.peer d 0) (fun r -> results := r :: !results);
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  D.run_until d 60.0;
+  let steady = List.filter (fun (r : Peer.result) -> r.emitted_at_local > 30.0) !results in
+  let mean =
+    Mortar_util.Stats.mean
+      (Array.of_list (List.map (fun (r : Peer.result) -> r.completeness) steady))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "completeness tolerates 3%% loss (%.2f)" mean)
+    true (mean > 0.9)
+
+(* Randomized failure schedule: whatever the engine does, steady results
+   never exceed the population and track the union-graph bound. *)
+let test_random_failure_schedule () =
+  let d = make_deployment ~seed:71 () in
+  let n = D.hosts d in
+  let nodes = Array.init (n - 1) (fun i -> i + 1) in
+  let meta, treeset = count_query d ~name:"qr" ~nodes ~mode:Query.Syncless in
+  for i = 0 to n - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = ref [] in
+  Peer.on_result (D.peer d 0) (fun r -> results := r :: !results);
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  (* Random fail/reconnect events every 7 seconds. *)
+  let schedule_rng = Mortar_util.Rng.create 909 in
+  let rec churn t =
+    if t < 70.0 then
+      D.at d t (fun () ->
+          if Mortar_util.Rng.bool schedule_rng then
+            ignore (D.fail_random d ~fraction:0.1 ~protect:[ 0 ] ())
+          else D.reconnect_all d;
+          churn (t +. 7.0))
+  in
+  churn 10.0;
+  D.at d 70.0 (fun () -> D.reconnect_all d);
+  D.run_until d 110.0;
+  List.iter
+    (fun (r : Peer.result) ->
+      Alcotest.(check bool) "never over-counts" true (r.count <= n))
+    !results;
+  let late = List.filter (fun (r : Peer.result) -> r.emitted_at_local > 90.0) !results in
+  let mean =
+    Mortar_util.Stats.mean
+      (Array.of_list (List.map (fun (r : Peer.result) -> r.completeness) late))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovers after churn stops (%.2f)" mean)
+    true (mean > 0.95)
+
+(* Syncless mode keeps reporting under heavy clock offset. *)
+let test_syncless_with_offsets () =
+  let crng = Mortar_util.Rng.create 404 in
+  let offsets = Mortar_sim.Clock.planetlab_offsets crng ~scale:1.0 ~n:64 in
+  let skews = Mortar_sim.Clock.planetlab_skews crng ~n:64 in
+  let rng = Mortar_util.Rng.create 404 in
+  let topo = Mortar_net.Topology.transit_stub rng ~transits:4 ~stubs:8 ~hosts:64 () in
+  let d = D.create ~seed:404 ~offsets ~skews topo in
+  D.converge_coordinates d ();
+  let nodes = Array.init 63 (fun i -> i + 1) in
+  let meta, treeset = count_query d ~name:"qo" ~nodes ~mode:Query.Syncless in
+  for i = 0 to 63 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = ref [] in
+  Peer.on_result (D.peer d 0) (fun r -> results := r :: !results);
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
+  D.run_until d 60.0;
+  let steady = List.filter (fun (r : Peer.result) -> r.emitted_at_local > 30.0) !results in
+  Alcotest.(check bool) "results flow" true (List.length steady > 10);
+  let mean =
+    Mortar_util.Stats.mean
+      (Array.of_list (List.map (fun (r : Peer.result) -> r.completeness) steady))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "offset-immune aggregation (%.2f)" mean)
+    true (mean > 0.85)
+
+(* §3.1 self-hosting: "Mortar treats network coordinates as a data stream,
+   and first establishes a union query to bring a set of coordinates to
+   the node compiling the query." Collect coordinates through a Mortar
+   union query, plan the real query's tree set from the collected set, and
+   check the planned query works. *)
+let test_plan_via_union_query () =
+  let d = make_deployment ~seed:81 () in
+  let n = D.hosts d in
+  let nodes = Array.init (n - 1) (fun i -> i + 1) in
+  let coords = D.coordinates d in
+  (* Each peer publishes its own coordinate on the "coords" stream. *)
+  for i = 0 to n - 1 do
+    let c = coords.(i) in
+    D.sensor d ~node:i ~stream:"coords" ~period:5.0 (fun _ ->
+        Value.Record
+          [
+            ("node", Value.Int i);
+            ("x", Value.Float c.(0));
+            ("y", Value.Float c.(1));
+            ("z", Value.Float c.(2));
+          ])
+  done;
+  (* The union query rides a cheap random tree set — planning has not
+     happened yet, which is the point. *)
+  let union_meta =
+    Query.make_meta ~name:"coords-union" ~source:"coords"
+      ~op:(Mortar_core.Op.Union { cap = 0 })
+      ~window:(Window.tumbling 10.0) ~root:0 ~degree:2 ~total_nodes:n ()
+  in
+  let bootstrap_ts = D.plan_random d ~bf:8 ~d:2 ~root:0 ~nodes () in
+  let collected = ref [||] in
+  Peer.on_result (D.peer d 0) (fun (r : Peer.result) ->
+      if r.query = "coords-union" then begin
+        let arr = Array.make n [| 0.0; 0.0; 0.0 |] in
+        List.iter
+          (fun record ->
+            let node = Value.to_int (Value.field record "node") in
+            arr.(node) <-
+              [|
+                Value.to_float (Value.field record "x");
+                Value.to_float (Value.field record "y");
+                Value.to_float (Value.field record "z");
+              |])
+          (Value.to_list r.value);
+        if r.completeness > 0.95 then collected := arr
+      end);
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) union_meta bootstrap_ts);
+  D.run_until d 30.0;
+  Alcotest.(check bool) "coordinates collected through the union query" true
+    (Array.length !collected = n);
+  (* Plan the production query from the collected coordinates and run it. *)
+  let planned =
+    Mortar_overlay.Treeset.plan (D.rng d) ~coords:!collected ~bf:4 ~d:4 ~root:0 ~nodes
+  in
+  let meta =
+    Query.make_meta ~name:"planned-sum" ~source:"ones" ~op:Mortar_core.Op.Sum
+      ~window:(Window.tumbling 1.0) ~root:0 ~total_nodes:n ()
+  in
+  for i = 0 to n - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = ref [] in
+  Peer.on_result (D.peer d 0) (fun (r : Peer.result) ->
+      if r.query = "planned-sum" then results := r :: !results);
+  D.at d 31.0 (fun () -> Peer.install_query (D.peer d 0) meta planned);
+  D.run_until d 80.0;
+  let steady = List.filter (fun (r : Peer.result) -> r.emitted_at_local > 60.0) !results in
+  let mean =
+    Mortar_util.Stats.mean
+      (Array.of_list (List.map (fun (r : Peer.result) -> r.completeness) steady))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "planned query complete (%.2f)" mean)
+    true (mean > 0.95)
+
+let tests =
+  [
+    Alcotest.test_case "sum over all nodes" `Slow test_sum_all_nodes;
+    Alcotest.test_case "install coverage" `Quick test_install_coverage;
+    Alcotest.test_case "sum with failures" `Slow test_sum_with_failures;
+    Alcotest.test_case "remove everywhere" `Quick test_remove;
+    Alcotest.test_case "reconciliation install" `Slow test_reconciliation_install;
+    Alcotest.test_case "packet loss tolerance" `Slow test_with_packet_loss;
+    Alcotest.test_case "random failure schedule" `Slow test_random_failure_schedule;
+    Alcotest.test_case "syncless with offsets" `Slow test_syncless_with_offsets;
+    Alcotest.test_case "plan via union query (self-hosting)" `Slow test_plan_via_union_query;
+  ]

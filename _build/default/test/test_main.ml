@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "mortar"
+    [
+      ("util", Test_util.tests);
+      ("sim", Test_sim.tests);
+      ("net", Test_net.tests);
+      ("cluster-coords", Test_cluster_coords.tests);
+      ("overlay", Test_overlay.tests);
+      ("core-data", Test_core_data.tests);
+      ("ts-list", Test_ts_list.tests);
+      ("routing", Test_routing.tests);
+      ("query-msl", Test_query_msl.tests);
+      ("dht-sdims", Test_dht_sdims.tests);
+      ("central-wifi", Test_central_wifi.tests);
+      ("emulation", Test_emulation.tests);
+      ("peer", Test_peer.tests);
+      ("experiments", Test_experiments.tests);
+      ("edge-cases", Test_edge_cases.tests);
+      ("integration", Test_integration.tests);
+    ]

@@ -1,0 +1,388 @@
+(* Peer-level behavior tests on small deployments: data-management modes,
+   tuple windows, query composition, crash recovery, digests, and the
+   no-aggregation baseline. *)
+
+module D = Mortar_emul.Deployment
+module Peer = Mortar_core.Peer
+module Query = Mortar_core.Query
+module Value = Mortar_core.Value
+module Window = Mortar_core.Window
+module Op = Mortar_core.Op
+
+let deploy ?(seed = 41) ?(hosts = 32) ?offsets () =
+  let rng = Mortar_util.Rng.create (seed * 17) in
+  let topo = Mortar_net.Topology.transit_stub rng ~transits:4 ~stubs:6 ~hosts () in
+  let d = D.create ~seed ?offsets topo in
+  D.converge_coordinates d ();
+  d
+
+let all_nodes hosts = Array.init (hosts - 1) (fun i -> i + 1)
+
+let install d meta =
+  let nodes = all_nodes (D.hosts d) in
+  let treeset = D.plan d ~bf:4 ~d:4 ~root:0 ~nodes () in
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset)
+
+let collect d =
+  let results = ref [] in
+  Peer.on_result (D.peer d 0) (fun r -> results := r :: !results);
+  results
+
+let test_timestamp_mode_synced_clocks () =
+  (* With perfect clocks, timestamp mode delivers full completeness. *)
+  let d = deploy () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"ts" ~source:"ones" ~op:Op.Sum ~window:(Window.tumbling 1.0)
+      ~mode:Query.Timestamp ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = collect d in
+  install d meta;
+  D.run_until d 60.0;
+  let steady = List.filter (fun (r : Peer.result) -> r.emitted_at_local > 30.0) !results in
+  let mean =
+    Mortar_util.Stats.mean
+      (Array.of_list (List.map (fun (r : Peer.result) -> r.completeness) steady))
+  in
+  Alcotest.(check bool) (Printf.sprintf "timestamp mode complete (%.2f)" mean) true (mean > 0.95)
+
+let test_avg_operator_in_network () =
+  let d = deploy ~seed:43 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"avg" ~source:"vals" ~op:Op.Avg ~window:(Window.tumbling 1.0)
+      ~root:0 ~total_nodes:hosts ()
+  in
+  (* Node i reports constant value i: the average of 0..n-1 is (n-1)/2. *)
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"vals" ~period:1.0 (fun _ -> Value.Int i)
+  done;
+  let results = collect d in
+  install d meta;
+  D.run_until d 60.0;
+  let steady = List.filter (fun (r : Peer.result) -> r.emitted_at_local > 30.0) !results in
+  let expected = float_of_int (hosts - 1) /. 2.0 in
+  List.iter
+    (fun (r : Peer.result) ->
+      if r.completeness > 0.99 then
+        Alcotest.(check (float 0.6)) "global average" expected (Value.to_float r.value))
+    steady
+
+let test_min_max_in_network () =
+  let d = deploy ~seed:44 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"mx" ~source:"vals" ~op:Op.Max ~window:(Window.tumbling 1.0)
+      ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"vals" ~period:1.0 (fun _ -> Value.Int i)
+  done;
+  let results = collect d in
+  install d meta;
+  D.run_until d 40.0;
+  let full =
+    List.filter (fun (r : Peer.result) -> r.completeness > 0.99 && r.emitted_at_local > 20.0)
+      !results
+  in
+  Alcotest.(check bool) "has complete windows" true (full <> []);
+  List.iter
+    (fun (r : Peer.result) ->
+      Alcotest.(check int) "max is n-1" (hosts - 1) (Value.to_int r.value))
+    full
+
+let test_sliding_window_overlap () =
+  (* range 3s, slide 1s: each window's sum is ~3x the per-slide sum. *)
+  let d = deploy ~seed:45 ~hosts:16 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"slide" ~source:"ones" ~op:Op.Sum
+      ~window:(Window.time ~range:3.0 ~slide:1.0) ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = collect d in
+  install d meta;
+  D.run_until d 40.0;
+  let steady =
+    List.filter (fun (r : Peer.result) -> r.completeness > 0.99 && r.emitted_at_local > 20.0)
+      !results
+  in
+  Alcotest.(check bool) "has complete windows" true (steady <> []);
+  List.iter
+    (fun (r : Peer.result) ->
+      let v = Value.to_float r.value in
+      Alcotest.(check bool)
+        (Printf.sprintf "roughly 3x nodes (%.0f)" v)
+        true
+        (v >= 2.0 *. float_of_int hosts && v <= 3.5 *. float_of_int hosts))
+    steady
+
+let test_tuple_window () =
+  (* Tuple windows: last 4 tuples from each source, slide 4. *)
+  let d = deploy ~seed:46 ~hosts:8 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"tw" ~source:"ones" ~op:Op.Sum
+      ~window:(Window.tuples ~range:4 ~slide:4) ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:0.5 (fun _ -> Value.Int 1)
+  done;
+  let results = collect d in
+  install d meta;
+  D.run_until d 40.0;
+  Alcotest.(check bool) "tuple-window results" true (!results <> []);
+  (* Each source contributes batches of 4 ones. *)
+  List.iter
+    (fun (r : Peer.result) ->
+      let v = Value.to_float r.value in
+      Alcotest.(check bool) "multiple of ~4 per contributor" true (v >= 4.0))
+    (List.filter (fun (r : Peer.result) -> r.emitted_at_local > 20.0) !results)
+
+let test_query_composition () =
+  (* A second query (max over 5s) subscribes to the first query's output
+     stream at the root. *)
+  let d = deploy ~seed:47 ~hosts:16 () in
+  let hosts = D.hosts d in
+  let inner =
+    Query.make_meta ~name:"inner" ~source:"ones" ~op:Op.Sum ~window:(Window.tumbling 1.0)
+      ~root:0 ~total_nodes:hosts ()
+  in
+  let outer =
+    Query.make_meta ~name:"outer" ~source:"inner" ~op:Op.Max ~window:(Window.tumbling 5.0)
+      ~root:0 ~total_nodes:1 ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = collect d in
+  install d inner;
+  (* The outer query runs only at the root. *)
+  let single = Mortar_overlay.Treeset.random (D.rng d) ~bf:1 ~d:1 ~root:0 ~nodes:[||] in
+  D.at d 1.5 (fun () -> Peer.install_query (D.peer d 0) outer single);
+  D.run_until d 60.0;
+  let outer_results =
+    List.filter (fun (r : Peer.result) -> r.query = "outer" && r.emitted_at_local > 30.0)
+      !results
+  in
+  Alcotest.(check bool) "outer results exist" true (outer_results <> []);
+  List.iter
+    (fun (r : Peer.result) ->
+      let v = Value.to_float r.value in
+      Alcotest.(check bool)
+        (Printf.sprintf "max of inner sums ~ hosts (%.0f)" v)
+        true
+        (v >= 0.8 *. float_of_int hosts && v <= 1.2 *. float_of_int hosts))
+    outer_results
+
+let test_pre_transform_select () =
+  (* Only even-valued nodes pass the select; the sum reflects it. *)
+  let d = deploy ~seed:48 ~hosts:16 () in
+  let hosts = D.hosts d in
+  let pre =
+    [
+      Mortar_core.Expr.Select
+        (Mortar_core.Expr.Cmp
+           ( Mortar_core.Expr.Eq,
+             Mortar_core.Expr.Binop
+               (Mortar_core.Expr.Mod, Mortar_core.Expr.Field "value", Mortar_core.Expr.Const (Value.Int 2)),
+             Mortar_core.Expr.Const (Value.Int 0) ))
+    ]
+  in
+  let meta =
+    Query.make_meta ~name:"sel" ~source:"vals" ~pre ~op:Op.Count
+      ~window:(Window.tumbling 1.0) ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"vals" ~period:1.0 (fun _ -> Value.Int i)
+  done;
+  let results = collect d in
+  install d meta;
+  D.run_until d 40.0;
+  let full =
+    List.filter (fun (r : Peer.result) -> r.completeness > 0.99 && r.emitted_at_local > 20.0)
+      !results
+  in
+  Alcotest.(check bool) "has complete windows" true (full <> []);
+  List.iter
+    (fun (r : Peer.result) ->
+      Alcotest.(check int) "only even nodes counted" (hosts / 2) (Value.to_int r.value))
+    full
+
+let test_crash_recovery () =
+  let d = deploy ~seed:49 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"cr" ~source:"ones" ~op:Op.Sum ~window:(Window.tumbling 1.0)
+      ~root:0 ~total_nodes:hosts ()
+  in
+  install d meta;
+  let lost = ref None in
+  D.at d 20.0 (fun () ->
+      Peer.crash (D.peer d 5);
+      lost := Some (Peer.has_query (D.peer d 5) "cr"));
+  D.run_until d 70.0;
+  Alcotest.(check (option bool)) "lost at crash instant" (Some false) !lost;
+  Alcotest.(check bool) "reconciliation reinstalls" true (Peer.has_query (D.peer d 5) "cr")
+
+let test_digest_agreement () =
+  let d = deploy ~seed:50 ~hosts:16 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"dg" ~source:"ones" ~op:Op.Sum ~window:(Window.tumbling 1.0)
+      ~root:0 ~total_nodes:hosts ()
+  in
+  install d meta;
+  D.run_until d 20.0;
+  let digests =
+    List.init hosts (fun i -> Peer.digest (D.peer d i)) |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "all digests agree" 1 (List.length digests)
+
+let test_reinstall_supersedes () =
+  let d = deploy ~seed:51 ~hosts:16 () in
+  let hosts = D.hosts d in
+  let nodes = all_nodes hosts in
+  let treeset = D.plan d ~bf:4 ~d:2 ~root:0 ~nodes () in
+  let v1 =
+    Query.make_meta ~name:"q" ~seqno:1 ~source:"ones" ~op:Op.Sum
+      ~window:(Window.tumbling 1.0) ~root:0 ~total_nodes:hosts ()
+  in
+  let v2 = { v1 with Query.seqno = 3; op = Op.Count } in
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) v1 treeset);
+  D.at d 10.0 (fun () -> Peer.install_query (D.peer d 0) v2 treeset);
+  D.run_until d 25.0;
+  for i = 0 to hosts - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "node %d upgraded" i)
+      (Some 3)
+      (Peer.query_seqno (D.peer d i) "q")
+  done
+
+let test_replan_query () =
+  (* Re-deploy over a fresh tree set: every node ends up on the new seqno
+     and results keep flowing. *)
+  let d = deploy ~seed:53 ~hosts:16 () in
+  let hosts = D.hosts d in
+  let nodes = all_nodes hosts in
+  let ts1 = D.plan d ~bf:4 ~d:2 ~root:0 ~nodes () in
+  let ts2 = D.plan d ~bf:4 ~d:4 ~root:0 ~nodes () in
+  let meta =
+    Query.make_meta ~name:"rp" ~source:"ones" ~op:Op.Sum ~window:(Window.tumbling 1.0)
+      ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = collect d in
+  D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta ts1);
+  D.at d 20.0 (fun () -> Peer.replan_query (D.peer d 0) ~name:"rp" ts2);
+  D.run_until d 60.0;
+  for i = 0 to hosts - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "node %d on new plan" i)
+      (Some 2)
+      (Peer.query_seqno (D.peer d i) "rp")
+  done;
+  let late = List.filter (fun (r : Peer.result) -> r.emitted_at_local > 45.0) !results in
+  Alcotest.(check bool) "results keep flowing after replan" true (late <> []);
+  let mean =
+    Mortar_util.Stats.mean
+      (Array.of_list (List.map (fun (r : Peer.result) -> r.completeness) late))
+  in
+  Alcotest.(check bool) (Printf.sprintf "complete after replan (%.2f)" mean) true (mean > 0.9)
+
+let test_by_index_striping () =
+  (* Content-sensitive routing (§4): the same window takes the same tree
+     everywhere, and results stay complete. *)
+  let d = deploy ~seed:63 ~hosts:32 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"bi" ~source:"ones" ~op:Op.Sum ~window:(Window.tumbling 1.0)
+      ~striping:Query.By_index ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let results = collect d in
+  install d meta;
+  D.run_until d 50.0;
+  let steady = List.filter (fun (r : Peer.result) -> r.emitted_at_local > 25.0) !results in
+  let mean =
+    Mortar_util.Stats.mean
+      (Array.of_list (List.map (fun (r : Peer.result) -> r.completeness) steady))
+  in
+  (* Single-tree-per-window aggregation has slightly noisier timing than
+     round-robin (the netDist estimate mixes tree heights), so the bar is
+     a touch lower than the round-robin tests'. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "by-index striping complete (%.2f)" mean)
+    true (mean > 0.85)
+
+let test_type_faults_survive () =
+  (* Ill-typed tuples (strings into a sum) are dropped as query faults;
+     well-typed tuples keep flowing and the peer never crashes. *)
+  let d = deploy ~seed:59 ~hosts:8 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"tf" ~source:"mixed" ~op:Op.Sum ~window:(Window.tumbling 1.0)
+      ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"mixed" ~period:0.5 (fun k ->
+        if k mod 2 = 0 then Value.Int 1 else Value.Str "oops")
+  done;
+  let results = collect d in
+  install d meta;
+  D.run_until d 30.0;
+  Alcotest.(check bool) "results despite faults" true (List.length !results > 10);
+  let total_faults =
+    List.fold_left
+      (fun acc i -> acc + (Peer.stats (D.peer d i)).Peer.type_faults)
+      0
+      (List.init hosts Fun.id)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "faults counted (%d)" total_faults)
+    true (total_faults > 10)
+
+let test_stats_counters () =
+  let d = deploy ~seed:52 ~hosts:16 () in
+  let hosts = D.hosts d in
+  let meta =
+    Query.make_meta ~name:"st" ~source:"ones" ~op:Op.Sum ~window:(Window.tumbling 1.0)
+      ~root:0 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  install d meta;
+  D.run_until d 30.0;
+  let root_stats = Peer.stats (D.peer d 0) in
+  Alcotest.(check bool) "root emitted results" true (root_stats.Peer.results_emitted > 10);
+  Alcotest.(check bool) "root received tuples" true (root_stats.Peer.tuples_received > 10);
+  let some_leaf = Peer.stats (D.peer d (hosts - 1)) in
+  Alcotest.(check bool) "leaves sent tuples" true (some_leaf.Peer.tuples_sent > 10)
+
+let tests =
+  [
+    Alcotest.test_case "timestamp mode, synced clocks" `Slow test_timestamp_mode_synced_clocks;
+    Alcotest.test_case "avg in network" `Slow test_avg_operator_in_network;
+    Alcotest.test_case "max in network" `Slow test_min_max_in_network;
+    Alcotest.test_case "sliding window overlap" `Slow test_sliding_window_overlap;
+    Alcotest.test_case "tuple window" `Slow test_tuple_window;
+    Alcotest.test_case "query composition" `Slow test_query_composition;
+    Alcotest.test_case "pre-transform select" `Slow test_pre_transform_select;
+    Alcotest.test_case "crash recovery" `Slow test_crash_recovery;
+    Alcotest.test_case "digest agreement" `Quick test_digest_agreement;
+    Alcotest.test_case "reinstall supersedes" `Quick test_reinstall_supersedes;
+    Alcotest.test_case "by-index striping" `Slow test_by_index_striping;
+    Alcotest.test_case "type faults survive" `Quick test_type_faults_survive;
+    Alcotest.test_case "replan query" `Slow test_replan_query;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+  ]
