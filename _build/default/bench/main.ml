@@ -17,6 +17,7 @@
      dune exec bench/main.exe -- --micro     # micro-benchmarks only
      dune exec bench/main.exe -- --figures   # quick experiments only
      dune exec bench/main.exe -- --full      # micro + full-scale experiments
+     dune exec bench/main.exe -- --smoke     # run each kernel once (used by `dune runtest`)
 *)
 
 open Bechamel
@@ -179,22 +180,34 @@ let bench_fig18_trilat () =
 let bench_msl_parse () =
   Staged.stage (fun () -> ignore (Mortar_core.Msl.parse fixture_msl))
 
-let tests =
+let kernels =
   [
-    Test.make ~name:"fig01:connectivity-trial" (bench_fig01_connectivity_trial ());
-    Test.make ~name:"fig09:ts-list-window-round" (bench_fig09_ts_list_round ());
-    Test.make ~name:"fig10:syncless-reindex-x1000" (bench_fig10_syncless_reindex ());
-    Test.make ~name:"fig11:chunk-plan-680" (bench_fig11_chunk_plan ());
-    Test.make ~name:"fig12:routing-decision" (bench_fig12_routing_decision ());
-    Test.make ~name:"fig13:unique-children" (bench_fig13_unique_children ());
-    Test.make ~name:"fig14:merge-fold-680" (bench_fig14_merge_fold ());
-    Test.make ~name:"fig15:engine-100-events" (bench_fig15_engine_round ());
-    Test.make ~name:"fig16:dht-next-hop" (bench_fig16_dht_next_hop ());
-    Test.make ~name:"fig17:plan-primary-179" (bench_fig17_plan_primary ());
-    Test.make ~name:"fig17:sibling-shuffle-179" (bench_fig17_sibling_shuffle ());
-    Test.make ~name:"fig18:trilat-40-frames" (bench_fig18_trilat ());
-    Test.make ~name:"msl:parse-3-statements" (bench_msl_parse ());
+    ("fig01:connectivity-trial", bench_fig01_connectivity_trial ());
+    ("fig09:ts-list-window-round", bench_fig09_ts_list_round ());
+    ("fig10:syncless-reindex-x1000", bench_fig10_syncless_reindex ());
+    ("fig11:chunk-plan-680", bench_fig11_chunk_plan ());
+    ("fig12:routing-decision", bench_fig12_routing_decision ());
+    ("fig13:unique-children", bench_fig13_unique_children ());
+    ("fig14:merge-fold-680", bench_fig14_merge_fold ());
+    ("fig15:engine-100-events", bench_fig15_engine_round ());
+    ("fig16:dht-next-hop", bench_fig16_dht_next_hop ());
+    ("fig17:plan-primary-179", bench_fig17_plan_primary ());
+    ("fig17:sibling-shuffle-179", bench_fig17_sibling_shuffle ());
+    ("fig18:trilat-40-frames", bench_fig18_trilat ());
+    ("msl:parse-3-statements", bench_msl_parse ());
   ]
+
+let tests = List.map (fun (name, staged) -> Test.make ~name staged) kernels
+
+(* Smoke mode (`dune runtest`): execute every kernel once, without
+   Bechamel's timing loop, so a broken fixture or kernel fails CI in
+   milliseconds rather than only under `dune exec bench/main.exe`. *)
+let run_smoke () =
+  List.iter
+    (fun (name, staged) ->
+      Staged.unstage staged ();
+      Printf.printf "smoke ok %s\n%!" name)
+    kernels
 
 let run_micro () =
   print_endline "=== micro-benchmarks (ns per kernel run) ===";
@@ -222,8 +235,11 @@ let run_figures ~quick =
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
-  let micro_only = has "--micro" in
-  let figures_only = has "--figures" in
-  let full = has "--full" in
-  if not figures_only then run_micro ();
-  if not micro_only then run_figures ~quick:(not full)
+  if has "--smoke" then run_smoke ()
+  else begin
+    let micro_only = has "--micro" in
+    let figures_only = has "--figures" in
+    let full = has "--full" in
+    if not figures_only then run_micro ();
+    if not micro_only then run_figures ~quick:(not full)
+  end

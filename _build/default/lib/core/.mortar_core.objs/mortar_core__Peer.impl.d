@@ -1,1 +1,1 @@
-lib/core/peer.ml: Array Buffer Digest Expr Hashtbl Index List Mortar_overlay Mortar_util Msg Op Option Printf Query Routing Summary Ts_list Value Window
+lib/core/peer.ml: Array Buffer Digest Expr Hashtbl Index List Mortar_overlay Mortar_util Msg Op Option Printf Query Queue Routing Summary Ts_list Value Window

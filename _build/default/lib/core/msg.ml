@@ -23,12 +23,14 @@ type payload =
   | Remove of { name : string; seqno : int }
   | View_request of { name : string }
   | View_reply of { meta : Query.meta; view : Query.node_view option; age : float }
+  | Reliable of { token : int; inner : payload }
+  | Ack of { token : int }
 
 let set_size installed removed =
   List.fold_left (fun acc (n, _, _) -> acc + String.length n + 8) 0 installed
   + List.fold_left (fun acc (n, _) -> acc + String.length n + 4) 0 removed
 
-let wire_size = function
+let rec wire_size = function
   | Data { query; summary; visited; path; _ } ->
     28 + String.length query + Summary.wire_size summary + (8 * List.length visited)
     + (4 * List.length path)
@@ -44,15 +46,18 @@ let wire_size = function
   | View_reply { meta; view; _ } ->
     24 + Query.meta_wire_size meta
     + (match view with Some v -> Query.view_wire_size v | None -> 0)
+  | Reliable { inner; _ } -> 8 + wire_size inner
+  | Ack _ -> 16
 
-let kind = function
+let rec kind = function
   | Data _ -> "data"
   | Heartbeat _ -> "heartbeat"
+  | Reliable { inner; _ } -> kind inner
   | Reconcile_request _ | Reconcile_reply _ | Install _ | Remove _ | View_request _
-  | View_reply _ ->
+  | View_reply _ | Ack _ ->
     "control"
 
-let pp ppf = function
+let rec pp ppf = function
   | Data { query; tree; summary; _ } ->
     Format.fprintf ppf "data[%s tree=%d %a]" query tree Summary.pp summary
   | Heartbeat { digest } ->
@@ -64,3 +69,5 @@ let pp ppf = function
   | Remove { name; seqno } -> Format.fprintf ppf "remove[%s#%d]" name seqno
   | View_request { name } -> Format.fprintf ppf "view-request[%s]" name
   | View_reply { meta; _ } -> Format.fprintf ppf "view-reply[%s]" meta.Query.name
+  | Reliable { token; inner } -> Format.fprintf ppf "reliable#%d[%a]" token pp inner
+  | Ack { token } -> Format.fprintf ppf "ack#%d" token

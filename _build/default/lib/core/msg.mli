@@ -40,11 +40,20 @@ type payload =
       (** Sent to a query root by a peer (re)installing via
           reconciliation. *)
   | View_reply of { meta : Query.meta; view : Query.node_view option; age : float }
+  | Reliable of { token : int; inner : payload }
+      (** Reliable-delivery envelope for control messages: the receiver
+          acks [token] back to the sender and processes [inner] once;
+          the sender retransmits on timeout with exponential backoff
+          until acked or its retry budget runs out (then §6.1
+          reconciliation catches the straggler up). Data tuples are never
+          wrapped — they stay fire-and-forget, as in the paper. *)
+  | Ack of { token : int }
 
 val wire_size : payload -> int
 
 val kind : payload -> string
 (** Traffic class for bandwidth accounting: ["data"], ["heartbeat"] or
-    ["control"]. *)
+    ["control"]. A {!Reliable} envelope takes its inner payload's kind;
+    {!Ack}s are ["control"]. *)
 
 val pp : Format.formatter -> payload -> unit

@@ -23,6 +23,10 @@ type config = {
   emitted_horizon : int;
   level_wait : float; (* eviction-time budget per level of headroom *)
   quiet_guard : float; (* deadline extension while merges keep arriving *)
+  ctl_retries : int; (* retransmit budget per reliable control message *)
+  ctl_timeout : float; (* base retransmission timeout floor, seconds *)
+  ctl_backoff : float; (* timeout multiplier per attempt *)
+  ctl_jitter : float; (* uniform fraction added to each timeout *)
 }
 
 let default_config =
@@ -37,6 +41,13 @@ let default_config =
     emitted_horizon = 64;
     level_wait = 1.0;
     quiet_guard = 0.6;
+    (* Off by default: the paper's deployment is fire-and-forget end to
+       end, and the figure reproductions must keep that message pattern.
+       Robustness-focused runs opt in (see DESIGN.md "Fault model"). *)
+    ctl_retries = 0;
+    ctl_timeout = 0.5;
+    ctl_backoff = 2.0;
+    ctl_jitter = 0.25;
   }
 
 type result = {
@@ -63,6 +74,9 @@ type stats = {
   view_requests : int;
   type_faults : int; (** Tuples dropped because an operator or transform
                          raised {!Value.Type_error} on them. *)
+  ctl_acked : int;
+  ctl_retransmits : int;
+  ctl_abandoned : int;
 }
 
 type raw = { basis : float; payload : Value.t; prov : (int * int) list }
@@ -96,6 +110,19 @@ type partner = {
   mutable last_reconcile : float;
 }
 
+(* One unacked reliable control message (§6-style install/remove/view
+   traffic): retransmitted with exponential backoff until acked or the
+   budget runs out, at which point the peer degrades gracefully and lets
+   reconciliation catch the straggler up. *)
+type pending_ctl = {
+  ctl_dst : int;
+  ctl_payload : Msg.payload;
+  ctl_token : int;
+  ctl_born : float; (* local time of the first attempt *)
+  mutable ctl_attempts : int;
+  mutable ctl_timer : timer option;
+}
+
 type t = {
   rt : runtime;
   cfg : config;
@@ -105,6 +132,13 @@ type t = {
   partners : (int, partner) Hashtbl.t;
   plans : (string, Query.meta * Mortar_overlay.Treeset.t) Hashtbl.t; (* injector only *)
   pending_views : (string, float) Hashtbl.t; (* name -> last request local time *)
+  ctl_pending : (int, pending_ctl) Hashtbl.t; (* token -> unacked ctl msg *)
+  seen_ctl : (int * int, unit) Hashtbl.t; (* (src, token) already processed *)
+  seen_ctl_order : (int * int) Queue.t; (* FIFO pruning for seen_ctl *)
+  ctl_rng : Rng.t;
+      (* Dedicated stream for retry jitter: control-plane draws must not
+         perturb the main rng the data path (striping, routing) uses. *)
+  mutable next_token : int;
   mutable result_handlers : (result -> unit) list;
   mutable hb_counter : int;
   mutable hb_timer : timer option;
@@ -118,6 +152,9 @@ type t = {
   mutable n_reconciliations : int;
   mutable n_view_requests : int;
   mutable n_type_faults : int;
+  mutable n_ctl_acked : int;
+  mutable n_ctl_retx : int;
+  mutable n_ctl_abandoned : int;
 }
 
 let self t = t.rt.self
@@ -185,6 +222,90 @@ let heard_from t src =
 
 let send_msg t ~dst payload =
   t.rt.send ~dst ~size:(Msg.wire_size payload) ~kind:(Msg.kind payload) payload
+
+(* ------------------------------------------------------------------ *)
+(* Reliable control plane: Install/Remove/View traffic is acked per
+   destination and retransmitted with exponential backoff plus jitter.
+   Data tuples stay fire-and-forget, as in the paper. *)
+
+(* Install and View_reply carry an [age] (time since query creation) that
+   the receiver turns into its syncless [t_ref]; a retransmission must
+   re-age the payload or the receiver's windows end up misaligned by the
+   RTO delay. *)
+let aged_payload t p =
+  let elapsed = now_local t -. p.ctl_born in
+  if elapsed <= 0.0 then p.ctl_payload
+  else
+    match p.ctl_payload with
+    | Msg.Install { meta; members; edges; age } ->
+      Msg.Install { meta; members; edges; age = age +. elapsed }
+    | Msg.View_reply { meta; view; age } -> Msg.View_reply { meta; view; age = age +. elapsed }
+    | other -> other
+
+let rec ctl_attempt t p =
+  p.ctl_attempts <- p.ctl_attempts + 1;
+  if p.ctl_attempts > 1 then t.n_ctl_retx <- t.n_ctl_retx + 1;
+  send_msg t ~dst:p.ctl_dst (Msg.Reliable { token = p.ctl_token; inner = aged_payload t p });
+  (* RTO: a floor covering several round trips to this destination, then
+     doubled (by default) per attempt, with uniform jitter so retry storms
+     desynchronise. *)
+  let base = max t.cfg.ctl_timeout (4.0 *. t.rt.latency_to p.ctl_dst) in
+  let rto = base *. (t.cfg.ctl_backoff ** float_of_int (p.ctl_attempts - 1)) in
+  let rto =
+    if t.cfg.ctl_jitter > 0.0 then rto *. (1.0 +. Rng.float t.ctl_rng t.cfg.ctl_jitter)
+    else rto
+  in
+  p.ctl_timer <- Some (t.rt.set_timer ~after:rto (fun () -> ctl_expire t p))
+
+and ctl_expire t p =
+  p.ctl_timer <- None;
+  if Hashtbl.mem t.ctl_pending p.ctl_token then begin
+    if p.ctl_attempts > t.cfg.ctl_retries then begin
+      (* Budget exhausted: give up and let reconciliation (§6.1) repair
+         whatever state the destination missed. *)
+      Hashtbl.remove t.ctl_pending p.ctl_token;
+      t.n_ctl_abandoned <- t.n_ctl_abandoned + 1
+    end
+    else ctl_attempt t p
+  end
+
+let send_ctl t ~dst payload =
+  if dst = t.rt.self || t.cfg.ctl_retries <= 0 then send_msg t ~dst payload
+  else begin
+    let token = t.next_token in
+    t.next_token <- t.next_token + 1;
+    let p =
+      { ctl_dst = dst; ctl_payload = payload; ctl_token = token; ctl_born = now_local t;
+        ctl_attempts = 0; ctl_timer = None }
+    in
+    Hashtbl.replace t.ctl_pending token p;
+    ctl_attempt t p
+  end
+
+let ctl_ack t ~src ~token =
+  match Hashtbl.find_opt t.ctl_pending token with
+  | Some p when p.ctl_dst = src ->
+    (match p.ctl_timer with Some h -> h.cancel () | None -> ());
+    Hashtbl.remove t.ctl_pending token;
+    t.n_ctl_acked <- t.n_ctl_acked + 1
+  | _ -> () (* late, duplicate, or forged ack *)
+
+let ctl_seen_cap = 1024
+
+(* Retransmissions of an already-processed envelope are acked but not
+   re-processed (handlers are idempotent, but e.g. a duplicate Install
+   would re-forward its whole chunk). *)
+let ctl_duplicate t ~src ~token =
+  let k = (src, token) in
+  if Hashtbl.mem t.seen_ctl k then true
+  else begin
+    Hashtbl.replace t.seen_ctl k ();
+    Queue.push k t.seen_ctl_order;
+    while Hashtbl.length t.seen_ctl > ctl_seen_cap do
+      Hashtbl.remove t.seen_ctl (Queue.pop t.seen_ctl_order)
+    done;
+    false
+  end
 
 let installed_triples t =
   Hashtbl.fold
@@ -609,7 +730,7 @@ let forward_install t (meta : Query.meta) members edges ~age =
       let sub_edges =
         List.filter (fun (c, p) -> Hashtbl.mem subtree c && Hashtbl.mem subtree p) edges
       in
-      send_msg t ~dst:child
+      send_ctl t ~dst:child
         (Msg.Install { meta; members = sub_members; edges = sub_edges; age }))
     my_children
 
@@ -631,7 +752,7 @@ let install_query t (meta : Query.meta) treeset =
       if chunk.entry = t.rt.self then
         handle_install t meta chunk.members chunk.edges ~age:0.0
       else
-        send_msg t ~dst:chunk.entry
+        send_ctl t ~dst:chunk.entry
           (Msg.Install { meta; members = chunk.members; edges = chunk.edges; age = 0.0 }))
     chunks
 
@@ -653,7 +774,7 @@ let remove_query t ~name =
     let primary = Mortar_overlay.Treeset.tree treeset 0 in
     let children = Mortar_overlay.Tree.children primary t.rt.self in
     remove_local t ~name ~seqno;
-    List.iter (fun c -> send_msg t ~dst:c (Msg.Remove { name; seqno })) children
+    List.iter (fun c -> send_ctl t ~dst:c (Msg.Remove { name; seqno })) children
 
 (* ------------------------------------------------------------------ *)
 (* Reconciliation (§6.1).                                              *)
@@ -668,7 +789,7 @@ let request_view t ~name ~root =
   if not recently then begin
     Hashtbl.replace t.pending_views name local;
     t.n_view_requests <- t.n_view_requests + 1;
-    send_msg t ~dst:root (Msg.View_request { name })
+    send_ctl t ~dst:root (Msg.View_request { name })
   end
 
 let apply_remote_sets t ~installed ~removed =
@@ -805,9 +926,14 @@ let rec heartbeat_tick t =
 (* ------------------------------------------------------------------ *)
 (* Message dispatch.                                                   *)
 
-let receive t ~src payload =
+let rec receive t ~src payload =
   heard_from t src;
   match payload with
+  | Msg.Reliable { token; inner } ->
+    (* Always ack — even a duplicate means our previous ack was lost. *)
+    send_msg t ~dst:src (Msg.Ack { token });
+    if not (ctl_duplicate t ~src ~token) then receive t ~src inner
+  | Msg.Ack { token } -> ctl_ack t ~src ~token
   | Msg.Data { query; seqno; tree; summary; visited; path; ttl_down; digest = remote } ->
     maybe_reconcile t ~src ~remote_digest:remote;
     handle_data t ~src ~query ~seqno ~tree ~summary ~visited ~path ~ttl_down
@@ -832,7 +958,7 @@ let receive t ~src payload =
     (match Hashtbl.find_opt t.instances name with
     | Some inst when inst.meta.Query.seqno <= seqno ->
       List.iter
-        (fun c -> send_msg t ~dst:c (Msg.Remove { name; seqno }))
+        (fun c -> send_ctl t ~dst:c (Msg.Remove { name; seqno }))
         inst.view.Query.children.(0)
     | _ -> ());
     remove_local t ~name ~seqno
@@ -845,7 +971,7 @@ let receive t ~src payload =
           Some (Query.view_of_treeset treeset src)
         else None
       in
-      send_msg t ~dst:src (Msg.View_reply { meta; view; age = 0.0 }))
+      send_ctl t ~dst:src (Msg.View_reply { meta; view; age = 0.0 }))
   | Msg.View_reply { meta; view; age } -> (
     Hashtbl.remove t.pending_views meta.Query.name;
     match view with
@@ -866,6 +992,15 @@ let create ?(config = default_config) rt =
       partners = Hashtbl.create 32;
       plans = Hashtbl.create 4;
       pending_views = Hashtbl.create 8;
+      ctl_pending = Hashtbl.create 16;
+      seen_ctl = Hashtbl.create 64;
+      seen_ctl_order = Queue.create ();
+      ctl_rng = Rng.create (0x51ab5 + (7919 * rt.self));
+      (* Tokens count up and survive {!crash}, so they never collide
+         across process restarts (a stale ack must not cancel a fresh
+         retransmission, and the receiver's dup table must not suppress a
+         fresh message). *)
+      next_token = 0;
       result_handlers = [];
       hb_counter = 0;
       hb_timer = None;
@@ -878,6 +1013,9 @@ let create ?(config = default_config) rt =
       n_reconciliations = 0;
       n_view_requests = 0;
       n_type_faults = 0;
+      n_ctl_acked = 0;
+      n_ctl_retx = 0;
+      n_ctl_abandoned = 0;
     }
   in
   (* Desynchronise heartbeat phases across peers. *)
@@ -902,6 +1040,12 @@ let crash t =
   Hashtbl.reset t.partners;
   Hashtbl.reset t.plans;
   Hashtbl.reset t.pending_views;
+  Hashtbl.iter
+    (fun _ p -> match p.ctl_timer with Some h -> h.cancel () | None -> ())
+    t.ctl_pending;
+  Hashtbl.reset t.ctl_pending;
+  Hashtbl.reset t.seen_ctl;
+  Queue.clear t.seen_ctl_order;
   invalidate_digest t;
   (match t.hb_timer with Some h -> h.cancel () | None -> ());
   t.hb_timer <- Some (t.rt.set_timer ~after:t.cfg.hb_period (fun () -> heartbeat_tick t))
@@ -916,6 +1060,9 @@ let stats t =
     reconciliations = t.n_reconciliations;
     view_requests = t.n_view_requests;
     type_faults = t.n_type_faults;
+    ctl_acked = t.n_ctl_acked;
+    ctl_retransmits = t.n_ctl_retx;
+    ctl_abandoned = t.n_ctl_abandoned;
   }
 
 let netdist t ~query =
@@ -923,3 +1070,5 @@ let netdist t ~query =
 
 let ts_length t ~query =
   Option.map (fun inst -> Ts_list.length inst.ts) (Hashtbl.find_opt t.instances query)
+
+let ctl_in_flight t = Hashtbl.length t.ctl_pending

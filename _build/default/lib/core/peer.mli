@@ -59,6 +59,21 @@ type config = {
           (bounded by the headroom cap): eviction waits for per-window
           quiescence. See DESIGN.md on why the paper's first-arrival-only
           timeout is unstable under dynamic striping. *)
+  ctl_retries : int;
+      (** Retransmit budget per reliable control message (Install, Remove,
+          View_request, View_reply): up to [1 + ctl_retries]
+          transmissions, then the peer gives up and relies on §6.1
+          reconciliation. The default is [0] — fire-and-forget, the
+          paper's behaviour, keeping the figure reproductions'
+          message pattern intact; set it positive to enable the reliable
+          control plane. *)
+  ctl_timeout : float;
+      (** Floor on the retransmission timeout; the effective base is
+          [max ctl_timeout (4 * latency_to dst)]. *)
+  ctl_backoff : float; (** RTO multiplier per attempt (exponential backoff). *)
+  ctl_jitter : float;
+      (** Uniform fraction added to each RTO so retry bursts
+          desynchronise across peers. *)
 }
 
 val default_config : config
@@ -88,6 +103,11 @@ type stats = {
   type_faults : int;
       (** Tuples dropped because an operator or pre-transform raised
           {!Value.Type_error} — a query fault, never a peer crash. *)
+  ctl_acked : int; (** Reliable control messages acknowledged. *)
+  ctl_retransmits : int; (** Control retransmissions sent. *)
+  ctl_abandoned : int;
+      (** Control messages whose retry budget ran out; reconciliation is
+          left to repair the destination. *)
 }
 
 type t
@@ -148,6 +168,9 @@ val stats : t -> stats
 val netdist : t -> query:string -> float option
 
 val ts_length : t -> query:string -> int option
+
+val ctl_in_flight : t -> int
+(** Reliable control messages currently awaiting an ack. *)
 
 val alive_neighbor : t -> int -> bool
 (** Liveness belief from heartbeats (true for unknown nodes). *)

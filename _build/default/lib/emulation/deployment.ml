@@ -2,6 +2,7 @@ module Engine = Mortar_sim.Engine
 module Clock = Mortar_sim.Clock
 module Topology = Mortar_net.Topology
 module Transport = Mortar_net.Transport
+module Faults = Mortar_net.Faults
 module Peer = Mortar_core.Peer
 module Rng = Mortar_util.Rng
 
@@ -9,6 +10,7 @@ type t = {
   engine : Engine.t;
   topo : Topology.t;
   transport : Mortar_core.Msg.payload Transport.t;
+  faults : Faults.t;
   clocks : Clock.t array;
   peers : Peer.t array;
   rng : Rng.t;
@@ -50,7 +52,12 @@ let create ?(seed = 42) ?(config = Peer.default_config) ?(loss = 0.0) ?offsets ?
         Peer.create ~config rt)
   in
   Array.iteri (fun i peer -> Transport.register transport i (fun ~src m -> Peer.receive peer ~src m)) peers;
-  { engine; topo; transport; clocks; peers; rng; vivaldi = None }
+  (* The fault table gets its own root stream: drawing it from [rng]
+     would shift the transport/peer/planner streams of every existing
+     seeded run, faults or not. *)
+  let faults = Faults.create ~hosts:n ~rng:(Rng.create (seed lxor 0x5f3759df)) () in
+  Transport.set_faults transport faults;
+  { engine; topo; transport; faults; clocks; peers; rng; vivaldi = None }
 
 let engine t = t.engine
 
@@ -96,6 +103,89 @@ let reconnect_all t =
   for i = 0 to hosts t - 1 do
     set_up t i true
   done
+
+(* ------------------------------------------------------------------ *)
+(* Scripted fault scenarios. *)
+
+let faults t = t.faults
+
+let stub_hosts t stub =
+  let rec loop i acc =
+    if i < 0 then acc
+    else loop (i - 1) (if Topology.stub_of t.topo i = stub then i :: acc else acc)
+  in
+  loop (hosts t - 1) []
+
+let all_hosts t = List.init (hosts t) Fun.id
+
+let complement t members =
+  let inside = Hashtbl.create (List.length members) in
+  List.iter (fun h -> Hashtbl.replace inside h ()) members;
+  List.filter (fun h -> not (Hashtbl.mem inside h)) (all_hosts t)
+
+type fault_event =
+  | Partition of { a : int list; from : float; until : float }
+  | Partition_stub of { stub : int; from : float; until : float }
+  | Link_loss of { src : int list; dst : int list; rate : float; sym : bool; from : float; until : float }
+  | Bursty_loss of {
+      src : int list;
+      dst : int list;
+      p_enter : float;
+      p_exit : float;
+      loss_bad : float;
+      loss_good : float;
+      from : float;
+      until : float;
+    }
+  | Link_jitter of { src : int list; dst : int list; extra : float; prob : float; from : float; until : float }
+  | Crash_recover of { node : int; at : float; recover_at : float }
+  | Correlated_crash of { stub : int; fraction : float; at : float; recover_at : float }
+
+(* Install a link condition at [from] and heal it at [until]. *)
+let windowed t ~from ~until install =
+  let id = ref None in
+  at t from (fun () -> id := Some (install ()));
+  at t until (fun () -> Option.iter (Faults.clear t.faults) !id)
+
+(* Take a node down at [at] and bring it back at [recover_at] as a fresh
+   process: all in-memory state is lost (Peer.crash) and reconciliation
+   has to re-install its queries. *)
+let crash_window t ~node ~at:down_at ~recover_at =
+  at t down_at (fun () -> set_up t node false);
+  at t recover_at (fun () ->
+      Peer.crash t.peers.(node);
+      set_up t node true)
+
+let schedule_fault t = function
+  | Partition { a; from; until } ->
+    windowed t ~from ~until (fun () -> Faults.partition t.faults ~a ~b:(complement t a))
+  | Partition_stub { stub; from; until } ->
+    windowed t ~from ~until (fun () -> Faults.isolate t.faults (stub_hosts t stub))
+  | Link_loss { src; dst; rate; sym; from; until } ->
+    windowed t ~from ~until (fun () -> Faults.loss t.faults ~sym ~src ~dst ~rate ())
+  | Bursty_loss { src; dst; p_enter; p_exit; loss_bad; loss_good; from; until } ->
+    windowed t ~from ~until (fun () ->
+        Faults.bursty t.faults ~loss_good ~src ~dst ~p_enter ~p_exit ~loss_bad ())
+  | Link_jitter { src; dst; extra; prob; from; until } ->
+    windowed t ~from ~until (fun () -> Faults.jitter t.faults ~prob ~src ~dst ~extra ())
+  | Crash_recover { node; at; recover_at } -> crash_window t ~node ~at ~recover_at
+  | Correlated_crash { stub; fraction; at = down_at; recover_at } ->
+    (* Victims are drawn when the fault fires, from the deployment RNG,
+       so the draw is deterministic in the event schedule. *)
+    at t down_at (fun () ->
+        let candidates = Array.of_list (stub_hosts t stub) in
+        let k = int_of_float (ceil (fraction *. float_of_int (Array.length candidates))) in
+        let k = min k (Array.length candidates) in
+        let victims = Rng.sample t.rng candidates k in
+        Array.iter (fun v -> set_up t v false) victims;
+        at t recover_at (fun () ->
+            Array.iter
+              (fun v ->
+                Peer.crash t.peers.(v);
+                set_up t v true)
+              victims))
+
+let schedule_faults t events = List.iter (schedule_fault t) events
 
 let converge_coordinates t ?(rounds = 12) ?(samples = 8) () =
   let system = Mortar_coords.Vivaldi.create t.topo ~rng:(Rng.split t.rng) () in

@@ -58,6 +58,66 @@ val fail_random : t -> fraction:float -> ?protect:int list -> unit -> int list
 
 val reconnect_all : t -> unit
 
+(** {1 Scripted fault scenarios}
+
+    A declarative, deterministic fault schedule driven by the sim engine:
+    the experiment lists timed {!fault_event}s up front and the deployment
+    installs/heals the matching {!Mortar_net.Faults} conditions (or
+    crashes peers) at the right virtual instants. All times are absolute
+    virtual seconds; link conditions are active on [\[from, until)]. *)
+
+val faults : t -> Mortar_net.Faults.t
+(** The fault table the transport consults on every send. *)
+
+val stub_hosts : t -> int -> int list
+(** Hosts homed in one stub domain of the topology. *)
+
+type fault_event =
+  | Partition of { a : int list; from : float; until : float }
+      (** Cut the hosts in [a] off from everyone else, both directions. *)
+  | Partition_stub of { stub : int; from : float; until : float }
+      (** {!Partition} of a whole stub domain: the stub loses its transit
+          uplink, heals at [until]. *)
+  | Link_loss of {
+      src : int list;
+      dst : int list;
+      rate : float;
+      sym : bool;
+      from : float;
+      until : float;
+    }  (** I.i.d. loss on src→dst (and dst→src when [sym]). *)
+  | Bursty_loss of {
+      src : int list;
+      dst : int list;
+      p_enter : float;
+      p_exit : float;
+      loss_bad : float;
+      loss_good : float;
+      from : float;
+      until : float;
+    }  (** Gilbert–Elliott bursty loss per (src, dst) pair. *)
+  | Link_jitter of {
+      src : int list;
+      dst : int list;
+      extra : float;
+      prob : float;
+      from : float;
+      until : float;
+    }
+      (** With probability [prob], uniform extra delay in [\[0, extra\]] —
+          messages reorder naturally. *)
+  | Crash_recover of { node : int; at : float; recover_at : float }
+      (** Node down at [at]; back at [recover_at] as a fresh process with
+          all in-memory state lost ({!Mortar_core.Peer.crash}). *)
+  | Correlated_crash of { stub : int; fraction : float; at : float; recover_at : float }
+      (** Crash a random [fraction] of one stub's hosts at once (drawn
+          from the deployment RNG when the event fires); all recover with
+          state loss at [recover_at]. *)
+
+val schedule_faults : t -> fault_event list -> unit
+(** Install a scenario. May be called before or during a run; events in
+    the past fire immediately. *)
+
 (** {1 Planning} *)
 
 val converge_coordinates : t -> ?rounds:int -> ?samples:int -> unit -> unit

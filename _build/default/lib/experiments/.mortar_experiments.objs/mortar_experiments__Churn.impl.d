@@ -1,0 +1,1 @@
+lib/experiments/churn.ml: Array Common Harness List Mortar_core Mortar_emul Mortar_net Mortar_util Printf

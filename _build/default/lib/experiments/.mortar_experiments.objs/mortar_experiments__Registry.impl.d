@@ -1,1 +1,1 @@
-lib/experiments/registry.ml: Ablations Fig01 Fig09_10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 Fig18
+lib/experiments/registry.ml: Ablations Churn Fig01 Fig09_10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 Fig18

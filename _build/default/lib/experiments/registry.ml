@@ -15,5 +15,6 @@ let ensure () =
     Fig16.register ();
     Fig17.register ();
     Fig18.register ();
-    Ablations.register ()
+    Ablations.register ();
+    Churn.register ()
   end

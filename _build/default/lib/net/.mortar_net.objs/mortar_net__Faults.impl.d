@@ -1,0 +1,1 @@
+lib/net/faults.ml: Array Hashtbl List Mortar_util

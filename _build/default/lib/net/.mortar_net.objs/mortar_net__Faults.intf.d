@@ -1,0 +1,1 @@
+lib/net/faults.mli: Mortar_util

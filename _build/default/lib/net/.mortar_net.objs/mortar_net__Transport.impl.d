@@ -1,1 +1,1 @@
-lib/net/transport.ml: Array Hashtbl List Mortar_sim Mortar_util Topology
+lib/net/transport.ml: Array Faults Hashtbl List Mortar_sim Mortar_util Queue Topology

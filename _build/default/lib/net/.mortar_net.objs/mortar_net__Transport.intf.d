@@ -1,1 +1,1 @@
-lib/net/transport.mli: Mortar_sim Mortar_util Topology
+lib/net/transport.mli: Faults Mortar_sim Mortar_util Topology

@@ -1,0 +1,148 @@
+module Rng = Mortar_util.Rng
+
+type id = int
+
+type decision = { drop : bool; extra_delay : float }
+
+(* A condition applies to messages from a host in [a] to a host in [b];
+   symmetric conditions also match the reverse direction. *)
+type scope = { a : bool array; b : bool array; sym : bool }
+
+type effect_ =
+  | Cut
+  | Loss of float
+  | Bursty of {
+      p_enter : float;
+      p_exit : float;
+      loss_good : float;
+      loss_bad : float;
+      state : (int * int, bool ref) Hashtbl.t; (* (src, dst) -> in bad state *)
+    }
+  | Delay of { extra : float; prob : float }
+
+type condition = { cid : id; scope : scope; eff : effect_ }
+
+type t = {
+  hosts : int;
+  rng : Rng.t;
+  (* An association list keeps evaluation order deterministic (insertion
+     order) and is cheap at the handful of conditions a scenario uses. *)
+  mutable conditions : condition list; (* oldest first *)
+  mutable next_id : int;
+  mutable cut_drops : int;
+  mutable loss_drops : int;
+  mutable delayed : int;
+}
+
+let create ~hosts ~rng () =
+  {
+    hosts;
+    rng;
+    conditions = [];
+    next_id = 0;
+    cut_drops = 0;
+    loss_drops = 0;
+    delayed = 0;
+  }
+
+let hosts t = t.hosts
+
+let set_of t members =
+  let s = Array.make t.hosts false in
+  List.iter
+    (fun h ->
+      if h < 0 || h >= t.hosts then invalid_arg "Faults: host out of range";
+      s.(h) <- true)
+    members;
+  s
+
+let add t scope eff =
+  let cid = t.next_id in
+  t.next_id <- t.next_id + 1;
+  (* Appended so the hot [decide] path walks install order directly. *)
+  t.conditions <- t.conditions @ [ { cid; scope; eff } ];
+  cid
+
+let cut t ~src ~dst = add t { a = set_of t src; b = set_of t dst; sym = false } Cut
+
+let partition t ~a ~b = add t { a = set_of t a; b = set_of t b; sym = true } Cut
+
+let isolate t members =
+  let inside = set_of t members in
+  let outside = Array.map not inside in
+  add t { a = inside; b = outside; sym = true } Cut
+
+let loss t ?(sym = false) ~src ~dst ~rate () =
+  add t { a = set_of t src; b = set_of t dst; sym } (Loss rate)
+
+let bursty t ?(sym = false) ?(loss_good = 0.0) ~src ~dst ~p_enter ~p_exit ~loss_bad () =
+  add t
+    { a = set_of t src; b = set_of t dst; sym }
+    (Bursty { p_enter; p_exit; loss_good; loss_bad; state = Hashtbl.create 64 })
+
+let jitter t ?(sym = false) ?(prob = 1.0) ~src ~dst ~extra () =
+  add t { a = set_of t src; b = set_of t dst; sym } (Delay { extra; prob })
+
+let clear t cid = t.conditions <- List.filter (fun c -> c.cid <> cid) t.conditions
+
+let clear_all t = t.conditions <- []
+
+let active t = List.length t.conditions
+
+let in_scope s ~src ~dst = (s.a.(src) && s.b.(dst)) || (s.sym && s.a.(dst) && s.b.(src))
+
+let pass = { drop = false; extra_delay = 0.0 }
+
+let apply t ~src ~dst acc c =
+  if not (in_scope c.scope ~src ~dst) then acc
+  else
+    match c.eff with
+    | Cut ->
+      t.cut_drops <- t.cut_drops + 1;
+      { acc with drop = true }
+    | Loss rate ->
+      if Rng.float t.rng 1.0 < rate then begin
+        t.loss_drops <- t.loss_drops + 1;
+        { acc with drop = true }
+      end
+      else acc
+    | Bursty { p_enter; p_exit; loss_good; loss_bad; state } ->
+      let bad =
+        match Hashtbl.find_opt state (src, dst) with
+        | Some r -> r
+        | None ->
+          let r = ref false in
+          Hashtbl.replace state (src, dst) r;
+          r
+      in
+      (* Advance the chain one step per message, then sample the state's
+         loss rate. *)
+      (if !bad then begin
+         if Rng.float t.rng 1.0 < p_exit then bad := false
+       end
+       else if Rng.float t.rng 1.0 < p_enter then bad := true);
+      let rate = if !bad then loss_bad else loss_good in
+      if rate > 0.0 && Rng.float t.rng 1.0 < rate then begin
+        t.loss_drops <- t.loss_drops + 1;
+        { acc with drop = true }
+      end
+      else acc
+    | Delay { extra; prob } ->
+      if prob >= 1.0 || Rng.float t.rng 1.0 < prob then begin
+        t.delayed <- t.delayed + 1;
+        { acc with extra_delay = acc.extra_delay +. Rng.float t.rng extra }
+      end
+      else acc
+
+let decide t ~src ~dst =
+  match t.conditions with
+  | [] -> pass
+  | conditions ->
+    List.fold_left (fun acc c -> if acc.drop then acc else apply t ~src ~dst acc c) pass
+      conditions
+
+let cut_drops t = t.cut_drops
+
+let loss_drops t = t.loss_drops
+
+let delayed t = t.delayed

@@ -1,25 +1,40 @@
+(* Per-destination duplicate-suppression memory, bounded: keys are
+   remembered FIFO and the oldest forgotten beyond [cap], so a long
+   simulation cannot leak (§4.3 only needs recent keys — retransmits
+   arrive within a handful of RTTs). *)
+type seen = {
+  tbl : (string, unit) Hashtbl.t;
+  order : string Queue.t;
+}
+
 type 'a t = {
   engine : Mortar_sim.Engine.t;
   topo : Topology.t;
   loss : float;
   bucket : float;
+  seen_cap : int;
   rng : Mortar_util.Rng.t;
+  mutable faults : Faults.t option;
   handlers : (Topology.host, src:Topology.host -> 'a -> unit) Hashtbl.t;
+  mutable observers : (src:Topology.host -> dst:Topology.host -> kind:string -> unit) list;
   up : bool array;
-  seen : (Topology.host, (string, unit) Hashtbl.t) Hashtbl.t;
+  seen : (Topology.host, seen) Hashtbl.t;
   by_kind : (string, Mortar_sim.Series.t) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
 }
 
-let create engine topo ?(loss = 0.0) ?(bucket = 1.0) ~rng () =
+let create engine topo ?(loss = 0.0) ?(bucket = 1.0) ?(seen_cap = 4096) ?faults ~rng () =
   {
     engine;
     topo;
     loss;
     bucket;
+    seen_cap = max 1 seen_cap;
     rng;
+    faults;
     handlers = Hashtbl.create 64;
+    observers = [];
     up = Array.make (Topology.hosts topo) true;
     seen = Hashtbl.create 64;
     by_kind = Hashtbl.create 8;
@@ -28,6 +43,12 @@ let create engine topo ?(loss = 0.0) ?(bucket = 1.0) ~rng () =
   }
 
 let register t host f = Hashtbl.replace t.handlers host f
+
+let on_deliver t f = t.observers <- f :: t.observers
+
+let set_faults t faults = t.faults <- Some faults
+
+let faults t = t.faults
 
 let set_up t host b = t.up.(host) <- b
 
@@ -47,39 +68,56 @@ let account t ~kind ~bytes =
   Mortar_sim.Series.incr series ~time:(Mortar_sim.Engine.now t.engine) bytes
 
 let duplicate t ~dst ~key =
-  let table =
+  let entry =
     match Hashtbl.find_opt t.seen dst with
-    | Some tbl -> tbl
+    | Some e -> e
     | None ->
-      let tbl = Hashtbl.create 256 in
-      Hashtbl.replace t.seen dst tbl;
-      tbl
+      let e = { tbl = Hashtbl.create 256; order = Queue.create () } in
+      Hashtbl.replace t.seen dst e;
+      e
   in
-  if Hashtbl.mem table key then true
+  if Hashtbl.mem entry.tbl key then true
   else begin
-    Hashtbl.replace table key ();
+    Hashtbl.replace entry.tbl key ();
+    Queue.push key entry.order;
+    while Hashtbl.length entry.tbl > t.seen_cap do
+      Hashtbl.remove entry.tbl (Queue.pop entry.order)
+    done;
     false
   end
+
+let seen_keys t ~dst =
+  match Hashtbl.find_opt t.seen dst with None -> 0 | Some e -> Hashtbl.length e.tbl
 
 let send t ~src ~dst ~size ?(kind = "data") ?key payload =
   t.sent <- t.sent + 1;
   if t.up.(src) && t.up.(dst) && (t.loss = 0.0 || Mortar_util.Rng.float t.rng 1.0 >= t.loss)
   then begin
-    let hops = max 1 (Topology.hops t.topo src dst) in
-    account t ~kind ~bytes:(float_of_int (size * hops));
-    let delay = Topology.latency t.topo src dst in
-    let deliver () =
-      if t.up.(dst) && t.up.(src) then begin
-        let dup = match key with Some k -> duplicate t ~dst ~key:k | None -> false in
-        if not dup then
-          match Hashtbl.find_opt t.handlers dst with
-          | Some f ->
-            t.delivered <- t.delivered + 1;
-            f ~src payload
-          | None -> ()
-      end
+    let verdict =
+      match t.faults with
+      | None -> { Faults.drop = false; extra_delay = 0.0 }
+      | Some f -> Faults.decide f ~src ~dst
     in
-    ignore (Mortar_sim.Engine.schedule t.engine ~after:delay deliver)
+    if not verdict.Faults.drop then begin
+      let hops = max 1 (Topology.hops t.topo src dst) in
+      account t ~kind ~bytes:(float_of_int (size * hops));
+      let delay = Topology.latency t.topo src dst +. verdict.Faults.extra_delay in
+      let deliver () =
+        (* Only the destination's liveness matters at delivery time: a
+           datagram already in flight outlives its sender's crash. *)
+        if t.up.(dst) then begin
+          let dup = match key with Some k -> duplicate t ~dst ~key:k | None -> false in
+          if not dup then
+            match Hashtbl.find_opt t.handlers dst with
+            | Some f ->
+              t.delivered <- t.delivered + 1;
+              List.iter (fun obs -> obs ~src ~dst ~kind) t.observers;
+              f ~src payload
+            | None -> ()
+        end
+      in
+      ignore (Mortar_sim.Engine.schedule t.engine ~after:delay deliver)
+    end
   end
 
 let bytes_series t ~kind = Hashtbl.find_opt t.by_kind kind

@@ -2,10 +2,12 @@
 
     Models the role UdpCC played in the Mortar prototype: unreliable,
     unordered, duplicate-suppressed datagrams. Delivery takes the one-way
-    latency from the topology; messages involving a down host — at send or
-    at delivery time — are silently dropped, which models both node failure
-    and "last-mile" disconnection (§7.2). An optional uniform loss rate
-    models residual packet loss.
+    latency from the topology; a message is dropped if either endpoint is
+    down at send time, or if the {e destination} is down at delivery time
+    — an in-flight datagram outlives its sender's crash, as a real packet
+    would. An optional uniform loss rate models residual packet loss, and
+    an attached {!Faults} table adds link-level partitions, asymmetric and
+    bursty loss, and delay jitter per (src, dst) pair.
 
     Bandwidth accounting follows the paper's "total network load" metric:
     each delivered-or-dropped-in-flight message contributes
@@ -21,14 +23,30 @@ val create :
   Topology.t ->
   ?loss:float ->
   ?bucket:float ->
+  ?seen_cap:int ->
+  ?faults:Faults.t ->
   rng:Mortar_util.Rng.t ->
   unit ->
   'a t
 (** [loss] is a per-message drop probability (default [0.]); [bucket] the
-    bandwidth-series bucket width in seconds (default [1.]). *)
+    bandwidth-series bucket width in seconds (default [1.]); [seen_cap]
+    bounds each destination's duplicate-suppression memory (default
+    [4096] keys, oldest forgotten first); [faults] attaches a fault
+    table consulted on every send. *)
 
 val register : 'a t -> Topology.host -> (src:Topology.host -> 'a -> unit) -> unit
 (** Install the delivery handler for a host; replaces any previous one. *)
+
+val on_deliver :
+  'a t -> (src:Topology.host -> dst:Topology.host -> kind:string -> unit) -> unit
+(** Add a delivery observer, called for every delivered message after
+    duplicate suppression — measurement only (tests assert e.g. that no
+    message crosses an active partition). *)
+
+val set_faults : _ t -> Faults.t -> unit
+(** Attach (or replace) the fault table. *)
+
+val faults : _ t -> Faults.t option
 
 val send :
   'a t ->
@@ -41,17 +59,23 @@ val send :
   unit
 (** Fire-and-forget send of [size] bytes. [kind] tags bandwidth accounting
     (default ["data"]). When [key] is given, the receiving host drops any
-    later message carrying the same key (duplicate suppression, §4.3).
-    Sending to self delivers after a zero-latency hop on the next event. *)
+    later message carrying the same key (duplicate suppression, §4.3),
+    remembering at most [seen_cap] recent keys. The fault table, if any,
+    is consulted once per send. Sending to self delivers after a
+    zero-latency hop on the next event. *)
 
 val set_up : _ t -> Topology.host -> bool -> unit
 (** Mark a host reachable/unreachable. Messages in flight towards a host
-    that goes down are lost. *)
+    that goes down are lost; messages in flight {e from} it are not. *)
 
 val is_up : _ t -> Topology.host -> bool
 (** Hosts start up. *)
 
 val up_count : _ t -> int
+
+val seen_keys : _ t -> dst:Topology.host -> int
+(** Number of duplicate-suppression keys currently remembered for a
+    destination (bounded by [seen_cap]; introspection for tests). *)
 
 val bytes_series : _ t -> kind:string -> Mortar_sim.Series.t option
 (** Link-bytes series for one traffic kind, if any traffic was sent. *)

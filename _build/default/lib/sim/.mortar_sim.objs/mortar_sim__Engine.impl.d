@@ -1,1 +1,1 @@
-lib/sim/engine.ml: List Mortar_util Option
+lib/sim/engine.ml: Mortar_util Option

@@ -48,7 +48,8 @@ val run : ?until:float -> t -> unit
     stay queued. *)
 
 val pending : t -> int
-(** Number of queued (uncancelled) events. *)
+(** Number of queued (uncancelled) events. O(1): the engine tracks
+    cancellations live rather than scanning the queue. *)
 
 val fired : t -> int
 (** Total events executed — a progress/diagnostic counter. *)

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Fun List Mortar_core Mortar_emul Mortar_experiments Mortar_net Mortar_overlay Mortar_sim Mortar_util Printf QCheck QCheck_alcotest

@@ -13,6 +13,7 @@ let () =
       ("dht-sdims", Test_dht_sdims.tests);
       ("central-wifi", Test_central_wifi.tests);
       ("emulation", Test_emulation.tests);
+      ("faults", Test_faults.tests);
       ("peer", Test_peer.tests);
       ("experiments", Test_experiments.tests);
       ("edge-cases", Test_edge_cases.tests);

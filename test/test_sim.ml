@@ -78,6 +78,30 @@ let test_engine_negative_delay_clamped () =
   Alcotest.(check bool) "fires" true !fired;
   check_float "clock not negative" 0.0 (Engine.now e)
 
+let test_engine_pending_counts_cancellations () =
+  let e = Engine.create () in
+  let handles = Array.init 10 (fun i -> Engine.schedule e ~after:(float_of_int (i + 1)) ignore) in
+  Alcotest.(check int) "all queued" 10 (Engine.pending e);
+  Engine.cancel handles.(3);
+  Engine.cancel handles.(7);
+  Engine.cancel handles.(7);
+  (* double cancel must not double count *)
+  Alcotest.(check int) "cancelled excluded" 8 (Engine.pending e);
+  Engine.run ~until:5.0 e;
+  (* Events 1,2,4,5 fired (3 was cancelled); 6,8,9,10 remain live. *)
+  Alcotest.(check int) "after partial run" 4 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_engine_pending_every () =
+  (* A recurring timer's outer handle is never queued itself; cancelling
+     it must not corrupt the pending count. *)
+  let e = Engine.create () in
+  let h = Engine.every e ~period:1.0 ignore in
+  ignore (Engine.schedule e ~after:3.5 (fun () -> Engine.cancel h));
+  Engine.run e;
+  Alcotest.(check int) "empty after cancel" 0 (Engine.pending e)
+
 let test_clock_offset_skew () =
   let c = Clock.create ~offset:10.0 ~skew:0.01 () in
   check_float "at zero" 10.0 (Clock.local_time c ~now:0.0);
@@ -138,6 +162,8 @@ let tests =
     Alcotest.test_case "engine nested schedule" `Quick test_engine_nested_schedule;
     Alcotest.test_case "engine every" `Quick test_engine_every;
     Alcotest.test_case "engine negative delay" `Quick test_engine_negative_delay_clamped;
+    Alcotest.test_case "engine pending counter" `Quick test_engine_pending_counts_cancellations;
+    Alcotest.test_case "engine pending with every" `Quick test_engine_pending_every;
     Alcotest.test_case "clock offset/skew" `Quick test_clock_offset_skew;
     Alcotest.test_case "clock synchronized" `Quick test_clock_synchronized;
     Alcotest.test_case "clock planetlab distribution" `Quick test_clock_planetlab_distribution;
