@@ -12,12 +12,23 @@
       section, printed as text tables. Quick mode (the default here) uses
       scaled-down configurations; pass `--full` for paper-scale runs.
 
+   Plus a third, scale-oriented layer:
+
+   3. `--scale` builds 680/2000/10000-host topologies and, for each,
+      times topology construction, TS-list inserts, transport sends, and
+      a short fig14-style aggregation round, writing the numbers as
+      machine-readable JSON (default `results/BENCH_PR2.json`). This is
+      the evidence trail for the router-matrix / indexed-TS-list /
+      allocation-lean-transport fast path: the 10000-host round must
+      complete, and the per-operation costs must stay flat as hosts grow.
+
    Usage:
      dune exec bench/main.exe                # micro + quick experiments
      dune exec bench/main.exe -- --micro     # micro-benchmarks only
      dune exec bench/main.exe -- --figures   # quick experiments only
      dune exec bench/main.exe -- --full      # micro + full-scale experiments
      dune exec bench/main.exe -- --smoke     # run each kernel once (used by `dune runtest`)
+     dune exec bench/main.exe -- --scale [--quick] [--out FILE.json]
 *)
 
 open Bechamel
@@ -232,10 +243,301 @@ let run_figures ~quick =
   Mortar_experiments.Registry.ensure ();
   Mortar_experiments.Common.run_all ~quick
 
+(* ------------------------------------------------------------------ *)
+(* --scale: wall-clock cost of the simulator's three hot layers at
+   paper scale and beyond. All timings use Unix.gettimeofday (these are
+   coarse-grained totals over thousands of operations, not Bechamel
+   territory). *)
+
+module Scale = struct
+  module Topology = Mortar_net.Topology
+  module Transport = Mortar_net.Transport
+  module Engine = Mortar_sim.Engine
+  module D = Mortar_emul.Deployment
+
+  type row = {
+    hosts : int;
+    routers : int;
+    topo_build_s : float;
+    ts_insert_ns : float;
+    transport_send_ns : float;
+    agg_virtual_s : float;
+    agg_wall_s : float;
+    agg_results : int;
+    agg_completeness : float;
+  }
+
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+
+  (* TS-list cost at a bf-[fanout] aggregation node: summaries from
+     [fanout] children land on each of a rotation of windows (the
+     exact-match fast path), with periodic eviction. Per-insert ns. *)
+  let bench_ts_inserts ~inserts =
+    let op = Mortar_core.Op.compile Mortar_core.Op.Sum in
+    let ts = Mortar_core.Ts_list.create ~op () in
+    let slots = 8 in
+    let (), wall =
+      time (fun () ->
+          for i = 0 to inserts - 1 do
+            let index = Mortar_core.Index.of_slot ~slide:1.0 (i mod slots) in
+            Mortar_core.Ts_list.insert ts ~now:0.0 ~deadline:1.0
+              (Mortar_core.Summary.make ~index ~value:(Mortar_core.Value.Float 1.0)
+                 ~count:1 ());
+            if (i + 1) mod (slots * 64) = 0 then
+              ignore (Mortar_core.Ts_list.force_pop ts ~now:2.0)
+          done)
+    in
+    wall *. 1e9 /. float_of_int inserts
+
+  (* Transport send+deliver cost across random host pairs (keyed, so the
+     duplicate-suppression path is exercised too). Per-send ns, including
+     the engine's delivery events. *)
+  let bench_transport topo ~sends =
+    let rng = Rng.create 11 in
+    let engine = Engine.create () in
+    let transport = Transport.create engine topo ~rng:(Rng.split rng) () in
+    let n = Topology.hosts topo in
+    let sink = ref 0 in
+    for h = 0 to n - 1 do
+      Transport.register transport h (fun ~src:_ () -> incr sink)
+    done;
+    let (), wall =
+      time (fun () ->
+          for i = 0 to sends - 1 do
+            let src = Rng.int rng n and dst = Rng.int rng n in
+            let kind = if i land 7 = 0 then "heartbeat" else "data" in
+            Transport.send transport ~src ~dst ~size:64 ~kind
+              ~key:(string_of_int i) ();
+          done;
+          Engine.run engine)
+    in
+    assert (!sink > 0);
+    wall *. 1e9 /. float_of_int sends
+
+  (* A short fig14-style aggregation round: every host feeds a 1 Hz
+     sensor into a syncless sum over tumbling 1 s windows, aggregated
+     up a random bf-32 treeset to host 0. Reports wall time and the
+     completeness of the recorded windows — the 10000-host round
+     completing (with near-full completeness) is the tentpole's
+     acceptance gate. *)
+  let bench_agg_round ~seed ~hosts ~virtual_s =
+    let rng = Rng.create (seed * 7919) in
+    let topo = Topology.transit_stub rng ~hosts () in
+    let d = D.create ~seed topo in
+    let nodes = Array.init (hosts - 1) (fun i -> i + 1) in
+    let treeset = D.plan_random d ~bf:32 ~root:0 ~nodes () in
+    let meta =
+      Mortar_core.Query.make_meta ~name:"scale-count" ~source:"ones"
+        ~op:Mortar_core.Op.Sum ~window:(Mortar_core.Window.tumbling 1.0)
+        ~mode:Mortar_core.Query.Syncless ~root:0 ~degree:4 ~total_nodes:hosts
+        ~aggregate:true ()
+    in
+    for i = 0 to hosts - 1 do
+      D.sensor d ~node:i ~stream:"ones" ~period:1.0 (fun _ -> Mortar_core.Value.Int 1)
+    done;
+    let results = ref 0 and steady = ref 0 and counted = ref 0 in
+    (* Completeness over steady-state windows only: the first windows
+       close while the install is still propagating down the trees. *)
+    let warmup = 5.0 in
+    Mortar_core.Peer.on_result (D.peer d 0) (fun (r : Mortar_core.Peer.result) ->
+        incr results;
+        if D.now d >= warmup then begin
+          incr steady;
+          counted := !counted + r.count
+        end);
+    D.at d 1.0 (fun () -> Mortar_core.Peer.install_query (D.peer d 0) meta treeset);
+    let (), wall = time (fun () -> D.run_until d virtual_s) in
+    let completeness =
+      if !steady = 0 then 0.0
+      else float_of_int !counted /. float_of_int (!steady * hosts)
+    in
+    (wall, !results, completeness)
+
+  let measure ~quick hosts =
+    let rng = Rng.create 7 in
+    let topo, topo_build_s = time (fun () -> Topology.transit_stub rng ~hosts ()) in
+    let inserts = if quick then 20_000 else 200_000 in
+    let ts_insert_ns = bench_ts_inserts ~inserts in
+    let sends = if quick then hosts * 4 else hosts * 16 in
+    let transport_send_ns = bench_transport topo ~sends in
+    let agg_virtual_s = if quick then 6.0 else 12.0 in
+    let agg_wall_s, agg_results, agg_completeness =
+      bench_agg_round ~seed:42 ~hosts ~virtual_s:agg_virtual_s
+    in
+    {
+      hosts;
+      routers = Topology.routers topo;
+      topo_build_s;
+      ts_insert_ns;
+      transport_send_ns;
+      agg_virtual_s;
+      agg_wall_s;
+      agg_results;
+      agg_completeness;
+    }
+
+  let json_of_rows ~quick rows =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b (Printf.sprintf "  \"bench\": \"scale\",\n");
+    Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+    Buffer.add_string b "  \"scales\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"hosts\": %d, \"routers\": %d, \"topology_build_s\": %.6f,\n\
+             \     \"ts_insert_ns\": %.1f, \"transport_send_ns\": %.1f,\n\
+             \     \"agg_round\": {\"virtual_s\": %.1f, \"wall_s\": %.3f, \"results\": \
+              %d, \"completeness\": %.4f}}%s\n"
+             r.hosts r.routers r.topo_build_s r.ts_insert_ns r.transport_send_ns
+             r.agg_virtual_s r.agg_wall_s r.agg_results r.agg_completeness
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string b "  ]\n}\n";
+    Buffer.contents b
+
+  (* Minimal JSON reader, enough to validate what we just wrote (and to
+     fail CI if the writer ever emits something unparseable). *)
+  let validate_json s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "BENCH_PR2.json invalid at %d: %s" !pos msg) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        incr pos
+      done
+    in
+    let expect c =
+      skip_ws ();
+      match peek () with
+      | Some c' when c' = c -> incr pos
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> string_lit ()
+      | Some ('t' | 'f') -> bool_lit ()
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail "value"
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then incr pos
+      else begin
+        let rec members () =
+          string_lit ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            skip_ws ();
+            members ()
+          | Some '}' -> incr pos
+          | _ -> fail "object"
+        in
+        members ()
+      end
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then incr pos
+      else begin
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements ()
+          | Some ']' -> incr pos
+          | _ -> fail "array"
+        in
+        elements ()
+      end
+    and string_lit () =
+      expect '"';
+      while !pos < n && s.[!pos] <> '"' do
+        incr pos
+      done;
+      if !pos >= n then fail "unterminated string";
+      incr pos
+    and bool_lit () =
+      let take w = String.length w <= n - !pos && String.sub s !pos (String.length w) = w in
+      if take "true" then pos := !pos + 4
+      else if take "false" then pos := !pos + 5
+      else fail "boolean"
+    and number () =
+      let start = !pos in
+      while
+        !pos < n
+        && match s.[!pos] with '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true | _ -> false
+      do
+        incr pos
+      done;
+      if !pos = start then fail "number"
+    in
+    value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage"
+
+  let run ~quick ~out =
+    let host_counts = if quick then [ 240; 680 ] else [ 680; 2000; 10_000 ] in
+    Printf.printf "=== scale bench (%s): topology / ts-list / transport / aggregation ===\n%!"
+      (if quick then "quick" else "full");
+    let rows =
+      List.map
+        (fun hosts ->
+          let r = measure ~quick hosts in
+          Printf.printf
+            "%6d hosts (%d routers): topo %.3fs  ts-insert %.0fns  send %.0fns  \
+             agg %.1fvs in %.2fs wall (%d results, %.1f%% complete)\n%!"
+            r.hosts r.routers r.topo_build_s r.ts_insert_ns r.transport_send_ns
+            r.agg_virtual_s r.agg_wall_s r.agg_results (100.0 *. r.agg_completeness);
+          r)
+        host_counts
+    in
+    let json = json_of_rows ~quick rows in
+    validate_json json;
+    (match Filename.dirname out with
+    | "." | "" -> ()
+    | dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+    let oc = open_out out in
+    output_string oc json;
+    close_out oc;
+    (* Read back and re-validate: CI treats an unparseable results file
+       as a failure, not just a curiosity. *)
+    let ic = open_in out in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    validate_json contents;
+    Printf.printf "wrote %s (%d bytes, JSON ok)\n%!" out (String.length contents)
+end
+
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
+  let arg_value flag default =
+    let rec find = function
+      | a :: b :: _ when a = flag -> b
+      | _ :: rest -> find rest
+      | [] -> default
+    in
+    find args
+  in
   if has "--smoke" then run_smoke ()
+  else if has "--scale" then
+    Scale.run ~quick:(has "--quick") ~out:(arg_value "--out" "results/BENCH_PR2.json")
   else begin
     let micro_only = has "--micro" in
     let figures_only = has "--figures" in

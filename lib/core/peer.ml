@@ -323,6 +323,11 @@ let slide_of (meta : Query.meta) =
 (* The mutually recursive heart: source emission, TS eviction, routing,
    result reporting, and raw injection (results feed composed queries). *)
 
+(* Re-arm after every insert: [Ts_list.next_deadline] is O(1) (cached
+   minimum), so this is just a timer cancel + schedule. Skipping the
+   re-arm when the deadline is unchanged would keep the older event's
+   sequence number and reorder simultaneous events — measurably shifting
+   seeded experiment tables — so the timer is always refreshed. *)
 let rec arm_eviction t inst =
   (match inst.eviction_timer with Some h -> h.cancel () | None -> ());
   match Ts_list.next_deadline inst.ts with

@@ -11,18 +11,68 @@ type entry = {
   mutable cap : float; (* absolute ceiling on deadline extensions *)
 }
 
+(* Entries live in a sorted growable array (non-overlapping, ordered by
+   interval start — hence also by interval end), so the insert position is
+   a binary search and the common case — a summary landing on an existing
+   entry's exact slot (the syncless data path) — is an O(log n) in-place
+   merge instead of the former O(n) list walk and rebuild.
+
+   [min_deadline] is maintained as the exact minimum over entries
+   (infinity when empty): new deadlines bump it down in O(1); the rare
+   events that can move the minimum up — a quiescence extension of the
+   minimum entry, a split, an eviction — trigger an O(n) rescan. The
+   peer's eviction re-arm calls [next_deadline] after every insert, so it
+   must not fold the whole structure. *)
 type t = {
   op : Op.impl;
   extend_boundaries : bool;
   quiet_guard : float;
   hard_cap : float;
-  mutable entries : entry list; (* sorted by index start, non-overlapping *)
+  mutable arr : entry array;
+  mutable len : int;
+  mutable min_deadline : float;
 }
 
-let create ?(extend_boundaries = false) ?(quiet_guard = 0.6) ?(hard_cap = 6.0) ~op () =
-  { op; extend_boundaries; quiet_guard; hard_cap; entries = [] }
+let eps = 1e-9
 
-let length t = List.length t.entries
+let create ?(extend_boundaries = false) ?(quiet_guard = 0.6) ?(hard_cap = 6.0) ~op () =
+  { op; extend_boundaries; quiet_guard; hard_cap; arr = [||]; len = 0; min_deadline = infinity }
+
+let length t = t.len
+
+let bump_min t d = if d < t.min_deadline then t.min_deadline <- d
+
+let rescan_min t =
+  let m = ref infinity in
+  for i = 0 to t.len - 1 do
+    if t.arr.(i).deadline < !m then m := t.arr.(i).deadline
+  done;
+  t.min_deadline <- !m
+
+(* First slot whose entry's interval end lies past [tb] — the only entry
+   that can overlap an interval starting at [tb], or the insert position.
+   Interval ends are strictly increasing across the sorted disjoint
+   entries, so this is a plain lower bound. *)
+let find_from t tb =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.arr.(mid).index.Index.te > tb +. eps then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let insert_at t i e =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let narr = Array.make ncap e in
+    Array.blit t.arr 0 narr 0 t.len;
+    t.arr <- narr
+  end;
+  Array.blit t.arr i t.arr (i + 1) (t.len - i);
+  t.arr.(i) <- e;
+  t.len <- t.len + 1;
+  bump_min t e.deadline
 
 let entry_of_summary t ~now ~deadline (s : Summary.t) =
   {
@@ -57,6 +107,15 @@ let merge_into t e ~now (s : Summary.t) =
      latency bound. *)
   e.deadline <- min e.cap (max e.deadline (now +. t.quiet_guard))
 
+(* Merge plus the minimum-deadline bookkeeping: the deadline may move in
+   either direction (down when the entry's initial deadline exceeded its
+   cap), and moving the minimum entry up forces a rescan. *)
+let merge_entry t e ~now s =
+  let d_old = e.deadline in
+  merge_into t e ~now s;
+  if e.deadline < t.min_deadline then t.min_deadline <- e.deadline
+  else if d_old <= t.min_deadline && e.deadline > d_old then rescan_min t
+
 (* A copy of entry [e] shrunk to interval [idx], used for split residues.
    It keeps the full value/count/age bookkeeping of the original — §4.2:
    non-overlapping regions retain their initial values. *)
@@ -64,78 +123,77 @@ let shrink e idx = { e with index = idx }
 
 let restrict_summary (s : Summary.t) idx = { s with Summary.index = idx }
 
-(* Insert, maintaining sorted non-overlapping entries. Recursion structure:
-   find the first entry overlapping the summary; emit the part of the
-   summary before it (if any) as its own entry; handle the overlap per
-   §4.2; recurse on the remainder after the entry. *)
+(* Insert, maintaining sorted non-overlapping entries. Loop structure
+   (the old list recursion, iteratively over the array): find the first
+   entry overlapping the summary; emit the part of the summary before it
+   (if any) as its own entry; handle the overlap per §4.2; continue with
+   the remainder after the entry. *)
 let rec insert_rec t ~now ~deadline (s : Summary.t) =
   let idx = s.Summary.index in
-  let rec place before after =
-    match after with
-    | [] ->
-      (* No overlap with anything: append. *)
-      List.rev_append before [ entry_of_summary t ~now ~deadline s ]
-    | e :: rest when not (Index.overlaps e.index idx) ->
-      if Index.compare_by_start idx e.index < 0 then
-        (* Entirely before e: insert here. *)
-        List.rev_append before (entry_of_summary t ~now ~deadline s :: e :: rest)
-      else place (e :: before) rest
-    | e :: rest ->
-      if Index.equal e.index idx then begin
-        merge_into t e ~now s;
-        List.rev_append before (e :: rest)
-      end
-      else begin
-        (* Partial overlap: split into before / overlap / after pieces. *)
-        let inter =
-          match Index.intersect e.index idx with
-          | Some i -> i
-          | None -> assert false
-        in
-        let pieces = ref [] in
-        (* Leading residue: belongs to whichever input starts earlier. *)
-        if e.index.Index.tb < inter.Index.tb -. 1e-9 then
-          pieces := shrink e (Index.make ~tb:e.index.Index.tb ~te:inter.Index.tb) :: !pieces
-        else if idx.Index.tb < inter.Index.tb -. 1e-9 then
-          pieces :=
-            entry_of_summary t ~now ~deadline
-              (restrict_summary s (Index.make ~tb:idx.Index.tb ~te:inter.Index.tb))
-            :: !pieces;
-        (* Overlap piece: merge of both, inheriting the entry's deadline
-           (the first tuple for the region set it). *)
-        let overlap_entry = shrink e inter in
-        merge_into t overlap_entry ~now (restrict_summary s inter);
-        pieces := overlap_entry :: !pieces;
-        let assembled = List.rev_append before (List.rev_append !pieces []) in
-        (* Trailing residues may still overlap later entries, so re-insert
-           them recursively into the assembled prefix + rest. *)
-        let trailing_entry =
-          if e.index.Index.te > inter.Index.te +. 1e-9 then
-            Some (`Entry (shrink e (Index.make ~tb:inter.Index.te ~te:e.index.Index.te)))
-          else if idx.Index.te > inter.Index.te +. 1e-9 then
-            Some (`Summary (restrict_summary s (Index.make ~tb:inter.Index.te ~te:idx.Index.te)))
-          else None
-        in
-        let base = assembled @ rest in
-        match trailing_entry with
-        | None -> base
-        | Some (`Entry residue) ->
-          (* An entry residue cannot overlap [rest] (entries were disjoint),
-             so splice it in directly, keeping order. *)
-          let rec splice = function
-            | [] -> [ residue ]
-            | x :: xs ->
-              if Index.compare_by_start residue.index x.index < 0 then residue :: x :: xs
-              else x :: splice xs
-          in
-          splice base
-        | Some (`Summary s') ->
-          t.entries <- base;
-          insert_rec t ~now ~deadline s';
-          t.entries
-      end
-  in
-  t.entries <- place [] t.entries
+  let i = find_from t idx.Index.tb in
+  if i >= t.len then insert_at t t.len (entry_of_summary t ~now ~deadline s)
+  else begin
+    let e = t.arr.(i) in
+    if not (Index.overlaps e.index idx) then
+      (* Entirely before e: insert here. *)
+      insert_at t i (entry_of_summary t ~now ~deadline s)
+    else if Index.equal e.index idx then
+      (* The exact-slot fast path — the common case on the syncless data
+         path (bench fig09): merge in place, no structural change. *)
+      merge_entry t e ~now s
+    else begin
+      (* Partial overlap: split into before / overlap / after pieces. *)
+      let inter =
+        match Index.intersect e.index idx with
+        | Some i -> i
+        | None -> assert false
+      in
+      (* Leading residue: belongs to whichever input starts earlier. *)
+      let leading =
+        if e.index.Index.tb < inter.Index.tb -. eps then
+          Some (shrink e (Index.make ~tb:e.index.Index.tb ~te:inter.Index.tb))
+        else if idx.Index.tb < inter.Index.tb -. eps then
+          Some
+            (entry_of_summary t ~now ~deadline
+               (restrict_summary s (Index.make ~tb:idx.Index.tb ~te:inter.Index.tb)))
+        else None
+      in
+      (* Overlap piece: merge of both, inheriting the entry's deadline
+         (the first tuple for the region set it). *)
+      let overlap_entry = shrink e inter in
+      merge_into t overlap_entry ~now (restrict_summary s inter);
+      (* Trailing residues may still overlap later entries; an entry
+         residue cannot (entries were disjoint), a summary residue is
+         re-inserted below. *)
+      let trailing =
+        if e.index.Index.te > inter.Index.te +. eps then
+          Some (`Entry (shrink e (Index.make ~tb:inter.Index.te ~te:e.index.Index.te)))
+        else if idx.Index.te > inter.Index.te +. eps then
+          Some (`Summary (restrict_summary s (Index.make ~tb:inter.Index.te ~te:idx.Index.te)))
+        else None
+      in
+      (* Replace slot i with the leading piece (if any) and the overlap;
+         the original entry's deadline may leave the structure, so the
+         cached minimum must be rebuilt (splits are the rare path). *)
+      let after_pieces =
+        match leading with
+        | None ->
+          t.arr.(i) <- overlap_entry;
+          i + 1
+        | Some lead ->
+          t.arr.(i) <- lead;
+          insert_at t (i + 1) overlap_entry;
+          i + 2
+      in
+      (match trailing with
+      | Some (`Entry residue) -> insert_at t after_pieces residue
+      | _ -> ());
+      rescan_min t;
+      match trailing with
+      | Some (`Summary s') -> insert_rec t ~now ~deadline s'
+      | _ -> ()
+    end
+  end
 
 (* Boundary tuples whose interval starts exactly where an entry ends extend
    that entry's validity (§4.3: "boundary tuples tell downstream operators
@@ -145,31 +203,34 @@ let rec insert_rec t ~now ~deadline (s : Summary.t) =
    through to normal insertion (they still carry completeness counts). *)
 let try_extend t (s : Summary.t) =
   let idx = s.Summary.index in
-  let rec scan = function
-    | [] -> false
-    | e :: rest when abs_float (e.index.Index.te -. idx.Index.tb) < 1e-9 ->
+  (* Interval ends are strictly increasing, so the only candidate whose
+     end can touch [idx.tb] is the lower bound on [te > idx.tb - eps]. *)
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.arr.(mid).index.Index.te > idx.Index.tb -. eps then hi := mid else lo := mid + 1
+  done;
+  let i = !lo in
+  if i >= t.len then false
+  else begin
+    let e = t.arr.(i) in
+    if abs_float (e.index.Index.te -. idx.Index.tb) < eps then begin
       let cap =
-        match rest with
-        | next :: _ -> min idx.Index.te next.index.Index.tb
-        | [] -> idx.Index.te
+        if i + 1 < t.len then min idx.Index.te t.arr.(i + 1).index.Index.tb
+        else idx.Index.te
       in
-      if cap > e.index.Index.te +. 1e-9 then begin
+      if cap > e.index.Index.te +. eps then
         e.index <- Index.make ~tb:e.index.Index.tb ~te:cap;
-        true
-      end
-      else true (* nothing to extend into; the boundary is absorbed *)
-    | _ :: rest -> scan rest
-  in
-  scan t.entries
+      true (* extended, or nothing to extend into: the boundary is absorbed *)
+    end
+    else false
+  end
 
 let insert t ~now ~deadline s =
   if s.Summary.boundary && t.extend_boundaries && try_extend t s then ()
   else insert_rec t ~now ~deadline s
 
-let next_deadline t =
-  List.fold_left
-    (fun acc e -> match acc with None -> Some e.deadline | Some d -> Some (min d e.deadline))
-    None t.entries
+let next_deadline t = if t.len = 0 then None else Some t.min_deadline
 
 let to_summary ~now e =
   let weight = float_of_int (max 1 e.count) in
@@ -183,14 +244,36 @@ let to_summary ~now e =
 let pop_due t ~now =
   (* The epsilon absorbs float rounding between a stored deadline and the
      wakeup time the timer actually fired at: without it, a deadline a few
-     ulps past [now] re-arms a zero-length timer forever. *)
-  let due, keep = List.partition (fun e -> e.deadline <= now +. 1e-6) t.entries in
-  t.entries <- keep;
-  List.map (to_summary ~now) due
+     ulps past [now] re-arms a zero-length timer forever. The cached
+     minimum gates the scan: nothing due, nothing touched. *)
+  if t.len = 0 || t.min_deadline > now +. 1e-6 then []
+  else begin
+    let due = ref [] in
+    let keep = ref 0 in
+    for i = 0 to t.len - 1 do
+      let e = t.arr.(i) in
+      if e.deadline <= now +. 1e-6 then due := e :: !due
+      else begin
+        t.arr.(!keep) <- e;
+        incr keep
+      end
+    done;
+    t.len <- !keep;
+    rescan_min t;
+    List.rev_map (to_summary ~now) !due
+  end
 
 let force_pop t ~now =
-  let all = t.entries in
-  t.entries <- [];
-  List.map (to_summary ~now) all
+  let out = ref [] in
+  for i = t.len - 1 downto 0 do
+    out := to_summary ~now t.arr.(i) :: !out
+  done;
+  t.len <- 0;
+  t.arr <- [||];
+  t.min_deadline <- infinity;
+  !out
 
-let entries t = List.map (fun e -> (e.index, e.value, e.count, e.deadline)) t.entries
+let entries t =
+  List.init t.len (fun i ->
+      let e = t.arr.(i) in
+      (e.index, e.value, e.count, e.deadline))

@@ -1,8 +1,10 @@
 (** The per-operator time-space (TS) list (§4.2, §4.3).
 
     A TS list tracks the active indices for which an operator is merging
-    arriving summary tuples. It is a list of non-overlapping entries sorted
-    by interval start; each entry is a potential final value.
+    arriving summary tuples. It holds non-overlapping entries sorted by
+    interval start (a sorted array internally: inserts binary-search their
+    slot, and the exact-match case merges in place); each entry is a
+    potential final value.
 
     Insertion follows §4.2 exactly:
     - no overlap: the summary becomes a new entry;
@@ -47,7 +49,9 @@ val insert : t -> now:float -> deadline:float -> Summary.t -> unit
     entry. *)
 
 val next_deadline : t -> float option
-(** Earliest eviction deadline across entries; [None] when empty. *)
+(** Earliest eviction deadline across entries; [None] when empty. O(1):
+    the minimum is maintained incrementally, so callers may re-arm timers
+    after every insert. *)
 
 val pop_due : t -> now:float -> Summary.t list
 (** Remove and return (in interval order) all entries whose deadline has

@@ -1,14 +1,29 @@
 type host = int
 
-(* The full graph holds routers and hosts as vertices; edges carry one-way
-   latency in seconds. After construction we run Dijkstra from every host
-   and keep only the host-to-host latency and hop matrices. *)
+(* Every end host hangs off exactly one router by a single access link, so
+   host-to-host shortest paths always run host -> router ... router -> host.
+   We exploit that: Dijkstra runs only from the ~R routers over the
+   router-level graph, and we keep router x router latency/hop matrices
+   plus a per-host attachment array. Memory is O(R^2 + H) and build time
+   O(R * E log R) instead of the former O(H^2) matrices filled by H
+   full-graph Dijkstra runs.
+
+   Bit-compatibility: the old code ran Dijkstra from each host vertex, so
+   a router's distance was accumulated as ((0 + access) + w1) + w2 + ...
+   Seeding the router-level Dijkstra with [dist(source router) = 0 +
+   access] (and [hops = 1]) reproduces exactly that accumulation order,
+   and the final [+. access] into the destination host matches the old
+   final edge relaxation — latencies and hop counts are bit-identical to
+   the per-host runs. *)
 type t = {
   n_hosts : int;
-  lat : float array array; (* host x host, seconds *)
-  hop : int array array; (* host x host, physical links *)
+  r_lat : float array array; (* router x router, seconds, incl. source access link *)
+  r_hop : int array array; (* router x router, incl. source access hop *)
+  attach : int array; (* host -> router vertex *)
+  access : float; (* host-to-router access-link latency, seconds *)
   stub : int array; (* host -> stub domain *)
   max_lat : float;
+  edges : (int * int * float) list; (* router-level edges, for introspection *)
 }
 
 let ms x = x /. 1000.0
@@ -16,9 +31,10 @@ let ms x = x /. 1000.0
 type graph = {
   mutable n : int;
   adj : (int, (int * float) list) Hashtbl.t;
+  mutable edges : (int * int * float) list;
 }
 
-let graph_create () = { n = 0; adj = Hashtbl.create 256 }
+let graph_create () = { n = 0; adj = Hashtbl.create 256; edges = [] }
 
 let add_vertex g =
   let v = g.n in
@@ -28,17 +44,20 @@ let add_vertex g =
 
 let add_edge g u v w =
   Hashtbl.replace g.adj u ((v, w) :: Hashtbl.find g.adj u);
-  Hashtbl.replace g.adj v ((u, w) :: Hashtbl.find g.adj v)
+  Hashtbl.replace g.adj v ((u, w) :: Hashtbl.find g.adj v);
+  g.edges <- (u, v, w) :: g.edges
 
-(* Dijkstra from [src]; returns (dist, hops) arrays over all vertices. *)
-let dijkstra g src =
+(* Dijkstra from [src]; returns (dist, hops) arrays over all vertices.
+   [init_dist]/[init_hops] seed the source label (the access link of the
+   probing host in the old full-graph formulation). *)
+let dijkstra g src ~init_dist ~init_hops =
   let dist = Array.make g.n infinity in
   let hops = Array.make g.n max_int in
   let visited = Array.make g.n false in
   let queue = Mortar_util.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
-  dist.(src) <- 0.0;
-  hops.(src) <- 0;
-  Mortar_util.Heap.push queue (0.0, src);
+  dist.(src) <- init_dist;
+  hops.(src) <- init_hops;
+  Mortar_util.Heap.push queue (init_dist, src);
   let rec drain () =
     match Mortar_util.Heap.pop queue with
     | None -> ()
@@ -60,22 +79,31 @@ let dijkstra g src =
   drain ();
   (dist, hops)
 
-let finalize g ~host_vertices ~stub =
-  let n_hosts = Array.length host_vertices in
-  let lat = Array.make_matrix n_hosts n_hosts 0.0 in
-  let hop = Array.make_matrix n_hosts n_hosts 0 in
+let finalize g ~attach ~access ~stub ~n_hosts =
+  let n_routers = g.n in
+  let r_lat = Array.make_matrix n_routers n_routers 0.0 in
+  let r_hop = Array.make_matrix n_routers n_routers 0 in
+  for r = 0 to n_routers - 1 do
+    (* 0.0 +. access: the exact first relaxation of the old per-host run. *)
+    let dist, hops = dijkstra g r ~init_dist:(0.0 +. access) ~init_hops:1 in
+    Array.blit dist 0 r_lat.(r) 0 n_routers;
+    Array.blit hops 0 r_hop.(r) 0 n_routers
+  done;
+  (* Largest host-to-host latency: only routers that actually host someone
+     matter, and a router pairs with itself only when it hosts >= 2. *)
+  let occupancy = Array.make n_routers 0 in
+  Array.iter (fun r -> occupancy.(r) <- occupancy.(r) + 1) attach;
   let max_lat = ref 0.0 in
-  Array.iteri
-    (fun i vi ->
-      let dist, hops = dijkstra g vi in
-      Array.iteri
-        (fun j vj ->
-          lat.(i).(j) <- dist.(vj);
-          hop.(i).(j) <- hops.(vj);
-          if dist.(vj) > !max_lat then max_lat := dist.(vj))
-        host_vertices)
-    host_vertices;
-  { n_hosts; lat; hop; stub; max_lat = !max_lat }
+  for a = 0 to n_routers - 1 do
+    if occupancy.(a) > 0 then
+      for b = 0 to n_routers - 1 do
+        if occupancy.(b) > 0 && (a <> b || occupancy.(a) >= 2) then begin
+          let l = r_lat.(a).(b) +. access in
+          if l > !max_lat then max_lat := l
+        end
+      done
+  done;
+  { n_hosts; r_lat; r_hop; attach; access; stub; max_lat = !max_lat; edges = g.edges }
 
 let transit_stub rng ?(transits = 8) ?(stubs = 34) ?extra_stub_links ~hosts () =
   assert (transits > 0 && stubs > 0 && hosts > 0);
@@ -102,38 +130,41 @@ let transit_stub rng ?(transits = 8) ?(stubs = 34) ?extra_stub_links ~hosts () =
     if a <> b then add_edge g stub_router.(a) stub_router.(b) (ms 2.0)
   done;
   (* End hosts spread uniformly (round-robin over a shuffled stub order, so
-     counts differ by at most one). *)
+     counts differ by at most one). Hosts are attachment records, not graph
+     vertices. *)
   let order = Array.init stubs (fun i -> i) in
   Mortar_util.Rng.shuffle rng order;
   let stub = Array.make hosts 0 in
-  let host_vertices =
+  let attach =
     Array.init hosts (fun i ->
         let s = order.(i mod stubs) in
         stub.(i) <- s;
-        let v = add_vertex g in
-        add_edge g v stub_router.(s) (ms 1.0);
-        v)
+        stub_router.(s))
   in
-  finalize g ~host_vertices ~stub
+  finalize g ~attach ~access:(ms 1.0) ~stub ~n_hosts:hosts
 
 let star ~link_delay ~hosts =
   assert (hosts > 0 && link_delay >= 0.0);
   let g = graph_create () in
   let hub = add_vertex g in
-  let host_vertices =
-    Array.init hosts (fun _ ->
-        let v = add_vertex g in
-        add_edge g v hub link_delay;
-        v)
-  in
-  finalize g ~host_vertices ~stub:(Array.make hosts 0)
+  finalize g ~attach:(Array.make hosts hub) ~access:link_delay
+    ~stub:(Array.make hosts 0) ~n_hosts:hosts
 
 let hosts t = t.n_hosts
 
-let latency t a b = t.lat.(a).(b)
+let latency t a b =
+  if a = b then 0.0 else t.r_lat.(t.attach.(a)).(t.attach.(b)) +. t.access
 
-let hops t a b = t.hop.(a).(b)
+let hops t a b = if a = b then 0 else t.r_hop.(t.attach.(a)).(t.attach.(b)) + 1
 
 let max_latency t = t.max_lat
 
 let stub_of t h = t.stub.(h)
+
+let routers t = Array.length t.r_lat
+
+let attachment t h = t.attach.(h)
+
+let access_latency t = t.access
+
+let router_edges (t : t) = t.edges

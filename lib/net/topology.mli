@@ -11,8 +11,14 @@
 
     yielding a longest host-to-host one-way delay of ~104 ms. This module
     generates such topologies (plus a star for the Wi-Fi experiment of
-    §7.4) and precomputes all-pairs one-way latency and physical hop counts
-    between end hosts by running Dijkstra over the full router graph.
+    §7.4).
+
+    Every host hangs off exactly one router by a single access link, so
+    latencies and hop counts are precomputed as router-by-router matrices
+    (Dijkstra from each of the ~42 routers) plus a per-host attachment
+    array — O(R² + H) memory instead of O(H²) — while {!latency} and
+    {!hops} keep returning exactly the per-host all-pairs values the old
+    full-graph formulation produced.
 
     End hosts are identified by dense indices [0 .. hosts - 1]; routers are
     internal. *)
@@ -56,3 +62,21 @@ val max_latency : t -> float
 
 val stub_of : t -> host -> int
 (** Index of the stub domain hosting a host ([0] for {!star}). *)
+
+(** {2 Router-level introspection}
+
+    Used by equivalence tests (router matrices vs. brute-force per-host
+    Dijkstra) and by scale diagnostics; peers never need these. *)
+
+val routers : t -> int
+(** Number of routers (transit + stub; [1] for {!star}). *)
+
+val attachment : t -> host -> int
+(** Router vertex ([0 .. routers - 1]) a host's access link attaches to. *)
+
+val access_latency : t -> float
+(** One-way latency of every host access link. *)
+
+val router_edges : t -> (int * int * float) list
+(** Undirected router-level edges [(u, v, one-way latency)], each listed
+    once. *)

@@ -7,6 +7,10 @@ type seen = {
   order : string Queue.t;
 }
 
+(* Hosts are dense indices, so the per-host state (handler, liveness,
+   duplicate memory) lives in flat arrays rather than hash tables: the
+   send/deliver path is the innermost loop of every experiment and at
+   10k hosts the hashing dominated it. *)
 type 'a t = {
   engine : Mortar_sim.Engine.t;
   topo : Topology.t;
@@ -15,16 +19,21 @@ type 'a t = {
   seen_cap : int;
   rng : Mortar_util.Rng.t;
   mutable faults : Faults.t option;
-  handlers : (Topology.host, src:Topology.host -> 'a -> unit) Hashtbl.t;
-  mutable observers : (src:Topology.host -> dst:Topology.host -> kind:string -> unit) list;
+  handlers : (src:Topology.host -> 'a -> unit) option array;
+  mutable observers : (src:Topology.host -> dst:Topology.host -> kind:string -> unit) array;
   up : bool array;
-  seen : (Topology.host, seen) Hashtbl.t;
+  mutable up_alive : int; (* invariant: number of [true] slots in [up] *)
+  seen : seen option array;
   by_kind : (string, Mortar_sim.Series.t) Hashtbl.t;
+  (* Single-slot memo for [account]: almost every send reuses the
+     previous send's kind, so the common case skips the hash lookup. *)
+  mutable kind_cache : (string * Mortar_sim.Series.t) option;
   mutable sent : int;
   mutable delivered : int;
 }
 
 let create engine topo ?(loss = 0.0) ?(bucket = 1.0) ?(seen_cap = 4096) ?faults ~rng () =
+  let n = Topology.hosts topo in
   {
     engine;
     topo;
@@ -33,47 +42,61 @@ let create engine topo ?(loss = 0.0) ?(bucket = 1.0) ?(seen_cap = 4096) ?faults 
     seen_cap = max 1 seen_cap;
     rng;
     faults;
-    handlers = Hashtbl.create 64;
-    observers = [];
-    up = Array.make (Topology.hosts topo) true;
-    seen = Hashtbl.create 64;
+    handlers = Array.make n None;
+    observers = [||];
+    up = Array.make n true;
+    up_alive = n;
+    seen = Array.make n None;
     by_kind = Hashtbl.create 8;
+    kind_cache = None;
     sent = 0;
     delivered = 0;
   }
 
-let register t host f = Hashtbl.replace t.handlers host f
+let register t host f = t.handlers.(host) <- Some f
 
-let on_deliver t f = t.observers <- f :: t.observers
+(* Prepend, matching the old list's newest-first observer order. *)
+let on_deliver t f = t.observers <- Array.append [| f |] t.observers
 
 let set_faults t faults = t.faults <- Some faults
 
 let faults t = t.faults
 
-let set_up t host b = t.up.(host) <- b
+let set_up t host b =
+  if t.up.(host) <> b then begin
+    t.up.(host) <- b;
+    t.up_alive <- (if b then t.up_alive + 1 else t.up_alive - 1)
+  end
 
 let is_up t host = t.up.(host)
 
-let up_count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.up
+let up_count t = t.up_alive
 
 let account t ~kind ~bytes =
   let series =
-    match Hashtbl.find_opt t.by_kind kind with
-    | Some s -> s
-    | None ->
-      let s = Mortar_sim.Series.create ~bucket:t.bucket in
-      Hashtbl.replace t.by_kind kind s;
+    match t.kind_cache with
+    | Some (k, s) when String.equal k kind -> s
+    | _ ->
+      let s =
+        match Hashtbl.find_opt t.by_kind kind with
+        | Some s -> s
+        | None ->
+          let s = Mortar_sim.Series.create ~bucket:t.bucket in
+          Hashtbl.replace t.by_kind kind s;
+          s
+      in
+      t.kind_cache <- Some (kind, s);
       s
   in
   Mortar_sim.Series.incr series ~time:(Mortar_sim.Engine.now t.engine) bytes
 
 let duplicate t ~dst ~key =
   let entry =
-    match Hashtbl.find_opt t.seen dst with
+    match t.seen.(dst) with
     | Some e -> e
     | None ->
       let e = { tbl = Hashtbl.create 256; order = Queue.create () } in
-      Hashtbl.replace t.seen dst e;
+      t.seen.(dst) <- Some e;
       e
   in
   if Hashtbl.mem entry.tbl key then true
@@ -87,7 +110,7 @@ let duplicate t ~dst ~key =
   end
 
 let seen_keys t ~dst =
-  match Hashtbl.find_opt t.seen dst with None -> 0 | Some e -> Hashtbl.length e.tbl
+  match t.seen.(dst) with None -> 0 | Some e -> Hashtbl.length e.tbl
 
 let send t ~src ~dst ~size ?(kind = "data") ?key payload =
   t.sent <- t.sent + 1;
@@ -108,10 +131,10 @@ let send t ~src ~dst ~size ?(kind = "data") ?key payload =
         if t.up.(dst) then begin
           let dup = match key with Some k -> duplicate t ~dst ~key:k | None -> false in
           if not dup then
-            match Hashtbl.find_opt t.handlers dst with
+            match t.handlers.(dst) with
             | Some f ->
               t.delivered <- t.delivered + 1;
-              List.iter (fun obs -> obs ~src ~dst ~kind) t.observers;
+              Array.iter (fun obs -> obs ~src ~dst ~kind) t.observers;
               f ~src payload
             | None -> ()
         end

@@ -8,6 +8,8 @@ let () =
       ("overlay", Test_overlay.tests);
       ("core-data", Test_core_data.tests);
       ("ts-list", Test_ts_list.tests);
+      ("ts-list-diff", Test_ts_list_diff.tests);
+      ("topology-equiv", Test_topology_equiv.tests);
       ("routing", Test_routing.tests);
       ("query-msl", Test_query_msl.tests);
       ("dht-sdims", Test_dht_sdims.tests);

@@ -1,0 +1,127 @@
+(* Equivalence test for the router-level topology fast path: the
+   router x router matrices + per-host attachment must reproduce, bit for
+   bit, what the original formulation computed — a full-graph Dijkstra
+   run from every host vertex. The brute force below rebuilds that exact
+   formulation from the introspection API ([router_edges], [attachment],
+   [access_latency]), replaying edges in their original insertion order
+   so that even floating-point tie-breaking matches. *)
+
+module Topology = Mortar_net.Topology
+module Rng = Mortar_util.Rng
+module Heap = Mortar_util.Heap
+
+(* Full host+router graph, old-style: routers keep their vertex numbers,
+   host h becomes vertex [routers + h]. Adjacency lists are built by
+   prepending, as the original graph did, with router edges first (in
+   insertion order) and host access links after — the relaxation order in
+   Dijkstra, and hence tie-breaking, depends on it. *)
+let build_full_graph topo =
+  let r = Topology.routers topo in
+  let n = r + Topology.hosts topo in
+  let adj = Array.make n [] in
+  let add_edge u v w =
+    adj.(u) <- (v, w) :: adj.(u);
+    adj.(v) <- (u, w) :: adj.(v)
+  in
+  List.iter (fun (u, v, w) -> add_edge u v w) (List.rev (Topology.router_edges topo));
+  let access = Topology.access_latency topo in
+  for h = 0 to Topology.hosts topo - 1 do
+    add_edge (r + h) (Topology.attachment topo h) access
+  done;
+  adj
+
+(* The original per-host Dijkstra, verbatim: same heap, same strict
+   [< dist - 1e-12] improvement guard. *)
+let dijkstra adj src =
+  let n = Array.length adj in
+  let dist = Array.make n infinity in
+  let hops = Array.make n max_int in
+  let visited = Array.make n false in
+  let queue = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  dist.(src) <- 0.0;
+  hops.(src) <- 0;
+  Heap.push queue (0.0, src);
+  let rec drain () =
+    match Heap.pop queue with
+    | None -> ()
+    | Some (d, u) ->
+      if not visited.(u) then begin
+        visited.(u) <- true;
+        List.iter
+          (fun (v, w) ->
+            let nd = d +. w in
+            if nd < dist.(v) -. 1e-12 then begin
+              dist.(v) <- nd;
+              hops.(v) <- hops.(u) + 1;
+              Heap.push queue (nd, v)
+            end)
+          adj.(u)
+      end;
+      drain ()
+  in
+  drain ();
+  (dist, hops)
+
+let check_all_pairs topo =
+  let r = Topology.routers topo in
+  let n_hosts = Topology.hosts topo in
+  let adj = build_full_graph topo in
+  let max_lat = ref 0.0 in
+  for a = 0 to n_hosts - 1 do
+    let dist, hops = dijkstra adj (r + a) in
+    for b = 0 to n_hosts - 1 do
+      let want_lat = if a = b then 0.0 else dist.(r + b) in
+      let want_hops = if a = b then 0 else hops.(r + b) in
+      let got_lat = Topology.latency topo a b in
+      let got_hops = Topology.hops topo a b in
+      if got_lat <> want_lat then
+        Alcotest.failf "latency %d->%d: matrices %.17g, brute force %.17g" a b got_lat
+          want_lat;
+      if got_hops <> want_hops then
+        Alcotest.failf "hops %d->%d: matrices %d, brute force %d" a b got_hops want_hops;
+      if a <> b && want_lat > !max_lat then max_lat := want_lat
+    done
+  done;
+  Alcotest.(check (float 0.0)) "max latency" !max_lat (Topology.max_latency topo)
+
+let test_transit_stub_seeds () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      check_all_pairs (Topology.transit_stub rng ~hosts:60 ()))
+    [ 5; 17; 42; 1234 ]
+
+let test_transit_stub_small_domains () =
+  (* Fewer stubs than hosts-per-stub heavy: multiple hosts share routers,
+     so the same-router (2 * access) and occupancy >= 2 cases are hit. *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      check_all_pairs (Topology.transit_stub rng ~transits:3 ~stubs:5 ~hosts:40 ()))
+    [ 7; 99 ]
+
+let test_star_regression () =
+  let topo = Topology.star ~link_delay:0.001 ~hosts:5 in
+  Alcotest.(check int) "one hub router" 1 (Topology.routers topo);
+  for a = 0 to 4 do
+    for b = 0 to 4 do
+      let want = if a = b then 0.0 else 0.002 in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "latency %d->%d" a b)
+        want (Topology.latency topo a b);
+      let want_hops = if a = b then 0 else 2 in
+      Alcotest.(check int) (Printf.sprintf "hops %d->%d" a b) want_hops
+        (Topology.hops topo a b)
+    done
+  done;
+  Alcotest.(check (float 0.0)) "max latency" 0.002 (Topology.max_latency topo);
+  check_all_pairs topo
+
+let tests =
+  [
+    Alcotest.test_case "router matrices = per-host dijkstra (defaults)" `Quick
+      test_transit_stub_seeds;
+    Alcotest.test_case "router matrices = per-host dijkstra (dense stubs)" `Quick
+      test_transit_stub_small_domains;
+    Alcotest.test_case "star topology" `Quick test_star_regression;
+  ]
