@@ -1,0 +1,7 @@
+(* The one module allowed to read the wall clock (lint rule D1
+   allow-lists this file by name). Benchmark timings are wall-clock by
+   nature; everything simulated takes time from the engine's virtual
+   clock, and a stray gettimeofday there would break byte-identical
+   seeded replay. *)
+
+let now () = Unix.gettimeofday ()

@@ -245,9 +245,9 @@ let run_figures ~quick =
 
 (* ------------------------------------------------------------------ *)
 (* --scale: wall-clock cost of the simulator's three hot layers at
-   paper scale and beyond. All timings use Unix.gettimeofday (these are
-   coarse-grained totals over thousands of operations, not Bechamel
-   territory). *)
+   paper scale and beyond. All timings go through Bench_clock (the one
+   wall-clock module the D1 lint allow-lists); these are coarse-grained
+   totals over thousands of operations, not Bechamel territory. *)
 
 module Scale = struct
   module Topology = Mortar_net.Topology
@@ -268,9 +268,9 @@ module Scale = struct
   }
 
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Bench_clock.now () in
     let v = f () in
-    (v, Unix.gettimeofday () -. t0)
+    (v, Bench_clock.now () -. t0)
 
   (* TS-list cost at a bf-[fanout] aggregation node: summaries from
      [fanout] children land on each of a rotation of windows (the

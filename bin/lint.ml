@@ -1,0 +1,65 @@
+(* mortar-lint: determinism & correctness static analysis (rules D1-D5).
+
+   Usage: lint [--baseline FILE] [--update-baseline] [PATH ...]
+
+   PATHs default to the four source roots. Directories are scanned
+   recursively (skipping _build and the lint fixtures); files are linted
+   as given. Exit status: 0 clean, 1 findings, 2 errors.
+
+   Suppress a finding inline with [(* lint: allow D3 <reason> *)] on the
+   offending line or the line above; grandfather known debt in the
+   baseline file (one [CODE FILE:LINE] per line, regenerate with
+   --update-baseline). *)
+
+let usage = "usage: lint [--baseline FILE] [--update-baseline] [PATH ...]"
+
+let () =
+  let baseline = ref None in
+  let update = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.String (fun f -> baseline := Some f),
+        "FILE subtract findings listed in FILE" );
+      ( "--update-baseline",
+        Arg.Set update,
+        " rewrite the baseline file with the current findings" );
+      ("--quiet", Arg.Set quiet, " only set the exit status, print nothing");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
+  in
+  let report = Mortar_lint.Driver.run ?baseline_file:!baseline ~paths () in
+  List.iter (fun e -> Printf.eprintf "lint: %s\n" e) report.errors;
+  if report.errors <> [] then exit 2;
+  (match (!update, !baseline) with
+  | true, Some file ->
+    let oc = open_out file in
+    output_string oc "# mortar-lint baseline: grandfathered findings, one per line.\n";
+    output_string oc "# Regenerate with: dune exec bin/lint.exe -- --baseline ";
+    output_string oc (file ^ " --update-baseline\n");
+    List.iter
+      (fun d -> output_string oc (Mortar_lint.Suppress.baseline_entry d ^ "\n"))
+      (report.findings @ report.baselined);
+    close_out oc;
+    Printf.printf "lint: wrote %d entries to %s\n"
+      (List.length report.findings + List.length report.baselined)
+      file
+  | true, None ->
+    prerr_endline "lint: --update-baseline requires --baseline FILE";
+    exit 2
+  | false, _ ->
+    if not !quiet then begin
+      List.iter (fun d -> print_endline (Mortar_lint.Diag.to_string d)) report.findings;
+      match (report.findings, report.baselined) with
+      | [], [] -> ()
+      | [], b -> Printf.printf "lint: clean (%d baselined)\n" (List.length b)
+      | f, b ->
+        Printf.printf "lint: %d finding(s), %d baselined\n" (List.length f)
+          (List.length b)
+    end;
+    if report.findings <> [] then exit 1)

@@ -79,8 +79,9 @@ let absorb t ~now (ts, (true_slot, payload)) =
   if slot > t.high_slot then begin
     let closable =
       Hashtbl.fold (fun s _ acc -> if s < slot then s :: acc else acc) t.windows []
+      |> List.sort compare
     in
-    List.iter (close t ~now) (List.sort compare closable);
+    List.iter (close t ~now) closable;
     t.high_slot <- slot
   end
 
@@ -91,7 +92,9 @@ let push t ~now ~ts ?true_slot payload =
 
 let drain t ~now =
   List.iter (absorb t ~now) (Bsort.flush t.buffer);
-  let remaining = Hashtbl.fold (fun s _ acc -> s :: acc) t.windows [] in
-  List.iter (close t ~now) (List.sort compare remaining)
+  let remaining =
+    Hashtbl.fold (fun s _ acc -> s :: acc) t.windows [] |> List.sort compare
+  in
+  List.iter (close t ~now) remaining
 
 let results t = List.rev t.reported

@@ -311,8 +311,10 @@ let installed_triples t =
   Hashtbl.fold
     (fun name inst acc -> (name, inst.meta.Query.seqno, inst.meta.Query.root) :: acc)
     t.instances []
+  |> List.sort compare
 
-let removed_pairs t = Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.removed []
+let removed_pairs t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.removed [] |> List.sort compare
 
 let slide_of (meta : Query.meta) =
   match meta.window with
@@ -578,8 +580,12 @@ and boundary_check t inst =
     Some (t.rt.set_timer ~after:t.cfg.boundary_period (fun () -> boundary_check t inst))
 
 and inject t ~stream ?true_slot payload =
-  Hashtbl.iter
-    (fun _ inst ->
+  (* Sorted instance order: a tuple-window emit fired from here sends
+     messages, so the order across instances is simulation-visible. *)
+  Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) t.instances []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter
+    (fun (_, inst) ->
       if inst.meta.Query.source = stream then begin
         match
           (try Expr.apply inst.meta.Query.pre payload
@@ -602,7 +608,6 @@ and inject t ~stream ?true_slot payload =
             inst.tw_pending <- inst.tw_pending + 1;
             if inst.tw_pending >= slide then emit_tuple_window t inst)
       end)
-    t.instances
 
 (* ------------------------------------------------------------------ *)
 (* Install / remove.                                                   *)
@@ -919,7 +924,7 @@ let heartbeat_targets t =
   Hashtbl.iter
     (fun _ inst -> List.iter (fun n -> Hashtbl.replace seen n ()) (Query.neighbors inst.view))
     t.instances;
-  Hashtbl.fold (fun n () acc -> n :: acc) seen []
+  Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare
 
 let rec heartbeat_tick t =
   t.hb_counter <- t.hb_counter + 1;
@@ -1030,7 +1035,8 @@ let create ?(config = default_config) rt =
 
 let on_result t f = t.result_handlers <- f :: t.result_handlers
 
-let installed t = Hashtbl.fold (fun name _ acc -> name :: acc) t.instances []
+let installed t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.instances [] |> List.sort compare
 
 let has_query t name = Hashtbl.mem t.instances name
 

@@ -63,12 +63,12 @@ let neighbors view =
   let seen = Hashtbl.create 16 in
   Array.iter (function Some p -> Hashtbl.replace seen p () | None -> ()) view.parents;
   Array.iter (List.iter (fun c -> Hashtbl.replace seen c ())) view.children;
-  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
 
 let unique_children view =
   let seen = Hashtbl.create 16 in
   Array.iter (List.iter (fun c -> Hashtbl.replace seen c ())) view.children;
-  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
 
 type chunk = {
   entry : int;

@@ -70,13 +70,15 @@ let remove t id =
     t.table
 
 let known t =
-  let acc = Hashtbl.create 64 in
-  List.iter (fun id -> Hashtbl.replace acc (Id.to_int64 id) id) t.leafset;
+  let seen = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace seen (Id.to_int64 id) id) t.leafset;
   Array.iter
     (fun row ->
-      Array.iter (function Some id -> Hashtbl.replace acc (Id.to_int64 id) id | None -> ()) row)
+      Array.iter (function Some id -> Hashtbl.replace seen (Id.to_int64 id) id | None -> ()) row)
     t.table;
-  Hashtbl.fold (fun _ id acc -> id :: acc) acc []
+  Hashtbl.fold (fun key id acc -> (key, id) :: acc) seen []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  |> List.map snd
 
 let leaves t = t.leafset
 

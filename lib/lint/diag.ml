@@ -1,0 +1,34 @@
+(* A single lint finding: rule code + source position + human message.
+   Rendering is one line per finding so golden tests can diff output. *)
+
+type t = {
+  code : string; (* "D1".."D5" *)
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~code ~loc ~message =
+  let p = loc.Location.loc_start in
+  {
+    code;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+let order a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c else compare a.code b.code
+
+let to_string d = Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.code d.message
+
+let render diags = String.concat "\n" (List.map to_string diags)

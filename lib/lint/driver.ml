@@ -1,0 +1,87 @@
+(* File discovery, parsing, suppression/baseline filtering, reporting.
+
+   Directories given to [run] are scanned recursively for [.ml] files,
+   skipping build products and the deliberately-broken lint fixtures;
+   files given explicitly are always linted (that is how the fixture
+   tests exercise the rules). *)
+
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec scan acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if List.mem entry skip_dirs then acc
+           else scan acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let expand paths =
+  List.fold_left
+    (fun acc p -> if Sys.is_directory p then scan acc p else p :: acc)
+    [] paths
+  |> List.sort_uniq compare
+
+let parse_impl path text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+(* The bench timing harness is the only module allowed on the wall clock. *)
+let wallclock_allowed path = Filename.basename path = "bench_clock.ml"
+
+type report = {
+  findings : Diag.t list; (* unsuppressed, not in baseline: these fail the build *)
+  baselined : Diag.t list; (* present but grandfathered by the baseline file *)
+  errors : string list; (* unreadable / unparseable files *)
+}
+
+let run ?baseline_file ~paths () =
+  let files = expand paths in
+  let parsed, errors =
+    List.fold_left
+      (fun (ok, errs) file ->
+        match read_file file with
+        | exception Sys_error e -> (ok, Printf.sprintf "%s: %s" file e :: errs)
+        | text -> (
+          match parse_impl file text with
+          | ast -> ((file, text, ast) :: ok, errs)
+          | exception exn ->
+            (ok, Printf.sprintf "%s: parse error: %s" file (Printexc.to_string exn) :: errs)))
+      ([], []) files
+  in
+  let parsed = List.rev parsed in
+  let env = Rules.empty_env () in
+  List.iter (fun (_, _, ast) -> Rules.collect_types env ast) parsed;
+  let baseline =
+    match baseline_file with None -> [] | Some f -> Suppress.load_baseline f
+  in
+  let findings, baselined =
+    List.fold_left
+      (fun (live, base) (file, text, ast) ->
+        let suppressions = Suppress.of_source text in
+        let diags =
+          Rules.run_rules env ~allow_wallclock:(wallclock_allowed file) ast
+          |> List.filter (fun (d : Diag.t) ->
+                 not (Suppress.allows suppressions ~line:d.line ~code:d.code))
+        in
+        let grandfathered, fresh =
+          List.partition (Suppress.baselined baseline) diags
+        in
+        (fresh @ live, grandfathered @ base))
+      ([], []) parsed
+  in
+  {
+    findings = List.sort Diag.order findings;
+    baselined = List.sort Diag.order baselined;
+    errors = List.rev errors;
+  }

@@ -1,0 +1,87 @@
+(* Inline suppressions and the checked-in baseline.
+
+   A finding of code C on line L is suppressed when the source carries a
+   comment of the form
+
+     (* lint: allow C <reason> *)
+
+   on line L itself or on line L-1 (comment-above style). Several codes
+   may be listed in one comment: [(* lint: allow D3 D5 reason *)].
+
+   The baseline file holds one finding per line as [CODE FILE:LINE];
+   blank lines and [#] comments are ignored. Baselined findings are
+   reported separately and do not fail the build — the mechanism exists
+   so the lint can be adopted on a tree with known debt, then ratcheted
+   down to an empty file. *)
+
+type t = (int * string list) list (* line -> codes allowed on it *)
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  if from > n then None else go from
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let is_code tok =
+  String.length tok >= 2
+  && tok.[0] = 'D'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tok 1 (String.length tok - 1))
+
+(* Parse one line; return the codes allowed by a [lint: allow ...] comment. *)
+let codes_of_line line =
+  match find_sub line "lint:" 0 with
+  | None -> []
+  | Some i ->
+    let rest = String.sub line (i + 5) (String.length line - i - 5) in
+    let rest =
+      match find_sub rest "*)" 0 with Some j -> String.sub rest 0 j | None -> rest
+    in
+    (match split_ws rest with
+    | "allow" :: toks -> List.filter is_code toks
+    | _ -> [])
+
+let of_source text : t =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, codes_of_line line))
+  |> List.filter (fun (_, codes) -> codes <> [])
+
+let allows (t : t) ~line ~code =
+  List.exists (fun (l, codes) -> (l = line || l + 1 = line) && List.mem code codes) t
+
+(* ------------------------------------------------------------------ *)
+(* Baseline.                                                           *)
+
+type baseline = (string * string * int) list (* code, file, line *)
+
+let parse_baseline_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match split_ws line with
+    | [ code; loc ] when is_code code -> (
+      match String.rindex_opt loc ':' with
+      | Some i -> (
+        let file = String.sub loc 0 i in
+        let ln = String.sub loc (i + 1) (String.length loc - i - 1) in
+        match int_of_string_opt ln with Some n -> Some (code, file, n) | None -> None)
+      | None -> None)
+    | _ -> None
+
+let load_baseline path : baseline =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    String.split_on_char '\n' text |> List.filter_map parse_baseline_line
+  end
+
+let baselined (b : baseline) (d : Diag.t) = List.mem (d.Diag.code, d.Diag.file, d.Diag.line) b
+
+let baseline_entry (d : Diag.t) =
+  Printf.sprintf "%s %s:%d" d.Diag.code d.Diag.file d.Diag.line

@@ -114,7 +114,7 @@ let seen_keys t ~dst =
 
 let send t ~src ~dst ~size ?(kind = "data") ?key payload =
   t.sent <- t.sent + 1;
-  if t.up.(src) && t.up.(dst) && (t.loss = 0.0 || Mortar_util.Rng.float t.rng 1.0 >= t.loss)
+  if t.up.(src) && t.up.(dst) && (Float.equal t.loss 0.0 || Mortar_util.Rng.float t.rng 1.0 >= t.loss)
   then begin
     let verdict =
       match t.faults with
@@ -152,7 +152,7 @@ let total_bytes_of_kind t ~kind =
     List.fold_left (fun acc (r : Mortar_sim.Series.row) -> acc +. r.sum) 0.0
       (Mortar_sim.Series.rows s)
 
-let kinds t = Hashtbl.fold (fun k _ acc -> k :: acc) t.by_kind []
+let kinds t = Hashtbl.fold (fun k _ acc -> k :: acc) t.by_kind [] |> List.sort compare
 
 let total_bytes t =
   List.fold_left (fun acc k -> acc +. total_bytes_of_kind t ~kind:k) 0.0 (kinds t)

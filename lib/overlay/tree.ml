@@ -25,10 +25,13 @@ let level t n =
   | Some l -> l
   | None -> raise Not_found
 
+(* Root first, then the remaining nodes in ascending order — never in
+   hash order (lint D3). *)
 let nodes t =
-  let acc = ref [ t.root ] in
-  Hashtbl.iter (fun child _ -> acc := child :: !acc) t.parent;
-  Array.of_list !acc
+  let rest =
+    Hashtbl.fold (fun child _ acc -> child :: acc) t.parent [] |> List.sort compare
+  in
+  Array.of_list (t.root :: rest)
 
 let size t = 1 + Hashtbl.length t.parent
 
@@ -68,6 +71,10 @@ let of_parents ~root edge_list =
       Hashtbl.replace parent child par;
       Hashtbl.replace children par (child :: Option.value (Hashtbl.find_opt children par) ~default:[]))
     edge_list;
+  (* Canonicalise sibling order so traversals do not depend on the edge
+     list's order — [map_nodes] rebuilds from [edges], which used to be
+     hash-ordered, and child order is simulation-visible (send order). *)
+  Hashtbl.filter_map_inplace (fun _ cs -> Some (List.sort compare cs)) children;
   let level = compute_levels ~root ~parent ~children in
   { root; parent; children; level }
 
@@ -86,7 +93,9 @@ let path_to_root t n =
   in
   up n []
 
-let edges t = Hashtbl.fold (fun child par acc -> (child, par) :: acc) t.parent []
+let edges t =
+  Hashtbl.fold (fun child par acc -> (child, par) :: acc) t.parent []
+  |> List.sort compare
 
 let map_nodes t f =
   let root = f t.root in

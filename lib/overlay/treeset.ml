@@ -55,9 +55,9 @@ let unique_neighbors t n =
       (match Tree.parent tr n with Some p -> Hashtbl.replace seen p () | None -> ());
       List.iter (fun c -> Hashtbl.replace seen c ()) (Tree.children tr n))
     t.all;
-  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
 
 let unique_children t n =
   let seen = Hashtbl.create 16 in
   Array.iter (fun tr -> List.iter (fun c -> Hashtbl.replace seen c ()) (Tree.children tr n)) t.all;
-  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare

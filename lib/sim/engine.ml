@@ -21,7 +21,7 @@ type t = {
 }
 
 let compare_event a b =
-  let c = compare a.time b.time in
+  let c = Float.compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
 let create () =

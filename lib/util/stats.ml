@@ -18,7 +18,7 @@ let percentile xs p =
   if n = 0 then nan
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     if n = 1 then sorted.(0)
     else begin
       let rank = p /. 100.0 *. float_of_int (n - 1) in

@@ -1,0 +1,6 @@
+(* D1 negative: the same reads, suppressed inline. *)
+
+(* lint: allow D1 one-off fixture demonstrating suppression *)
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time () (* lint: allow D1 same-line suppression *)

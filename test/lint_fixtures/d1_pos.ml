@@ -1,0 +1,5 @@
+(* D1 positive: wall-clock reads outside the bench clock module. *)
+
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()

@@ -1,0 +1,4 @@
+(* D2 negative: suppressed global randomness. *)
+
+(* lint: allow D2 fixture only; real code must use Util.Rng *)
+let roll () = Random.int 6

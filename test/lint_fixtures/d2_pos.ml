@@ -1,0 +1,7 @@
+(* D2 positive: global randomness, including the cardinal sin. *)
+
+let () = Random.self_init ()
+
+let roll () = Random.int 6
+
+let s = Random.State.make [| 42 |]

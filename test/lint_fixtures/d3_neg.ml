@@ -1,0 +1,5 @@
+(* D3 negative: suppressed hash-order escape. *)
+
+let keys tbl =
+  (* lint: allow D3 consumer folds with a commutative reducer *)
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []

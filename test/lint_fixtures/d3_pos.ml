@@ -1,0 +1,14 @@
+(* D3 positive: hash-order key lists escaping unsorted. *)
+
+let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let values tbl =
+  let acc = ref [] in
+  Hashtbl.iter (fun _ v -> acc := v :: !acc) tbl;
+  !acc
+
+(* Not flagged: the escaping list is sorted at the call site... *)
+let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+(* ... or the fold is commutative (no list is built). *)
+let count tbl = Hashtbl.fold (fun _ n acc -> max n acc) tbl 0

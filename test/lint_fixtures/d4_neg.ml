@@ -1,0 +1,6 @@
+(* D4 negative: suppressed catch-all, plus the preferred specific match. *)
+
+(* lint: allow D4 fixture; int_of_string only raises Failure *)
+let parse s = try Some (int_of_string s) with _ -> None
+
+let parse_ok s = try Some (int_of_string s) with Failure _ -> None

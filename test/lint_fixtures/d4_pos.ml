@@ -1,0 +1,5 @@
+(* D4 positive: catch-all handlers swallowing exceptions. *)
+
+let parse s = try Some (int_of_string s) with _ -> None
+
+let guarded f = try f () with _ | Not_found -> ()

@@ -1,0 +1,9 @@
+(* D5 negative: suppressed polymorphic comparison on a float record. *)
+
+type reading = { volts : float; ticks : int }
+
+let same a b =
+  (* lint: allow D5 fixture; both operands produced by the same pure fn *)
+  a.volts = b.volts
+
+let _ = same { volts = 1.0; ticks = 0 } { volts = 1.0; ticks = 0 }

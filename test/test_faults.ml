@@ -99,7 +99,7 @@ let test_jitter_delays () =
   done;
   Alcotest.(check int) "all counted" 20 (Faults.delayed f);
   Alcotest.(check bool) "unscoped pair undelayed" true
-    ((Faults.decide f ~src:2 ~dst:3).Faults.extra_delay = 0.0)
+    (Float.equal (Faults.decide f ~src:2 ~dst:3).Faults.extra_delay 0.0)
 
 let prop_partition_separates =
   (* Property: for any random split of the host set, a partition drops

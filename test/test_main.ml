@@ -20,4 +20,5 @@ let () =
       ("experiments", Test_experiments.tests);
       ("edge-cases", Test_edge_cases.tests);
       ("integration", Test_integration.tests);
+      ("lint", Test_lint.tests);
     ]

@@ -185,8 +185,11 @@ end
 let summary_eq (a : Summary.t) (b : Summary.t) =
   Index.equal a.index b.index
   && Value.to_float a.value = Value.to_float b.value
-  && a.count = b.count && a.boundary = b.boundary && a.age = b.age && a.hops = b.hops
-  && a.hops_max = b.hops_max && a.prov = b.prov
+  && a.count = b.count && a.boundary = b.boundary
+  && Float.equal a.age b.age
+  && a.hops = b.hops && a.hops_max = b.hops_max
+  (* lint: allow D5 Summary.prov is an (int*int) list; '=' is exact here *)
+  && a.prov = b.prov
 
 let summaries_eq la lb = List.length la = List.length lb && List.for_all2 summary_eq la lb
 
