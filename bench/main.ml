@@ -535,6 +535,24 @@ let () =
     in
     find args
   in
+  let arg_opt flag =
+    let rec find = function
+      | a :: b :: _ when a = flag -> Some b
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  (* --metrics-out / --trace-out: run whatever mode was selected with the
+     observability registry on, and dump it afterwards. Off by default so
+     the timing modes measure the disabled-instrumentation cost. *)
+  let module Obs = Mortar_obs.Obs in
+  let metrics_out = arg_opt "--metrics-out" in
+  let trace_out = arg_opt "--trace-out" in
+  if metrics_out <> None || trace_out <> None then begin
+    Obs.enabled := true;
+    Obs.Reg.clear Obs.default
+  end;
   if has "--smoke" then run_smoke ()
   else if has "--scale" then
     Scale.run ~quick:(has "--quick") ~out:(arg_value "--out" "results/BENCH_PR2.json")
@@ -544,4 +562,6 @@ let () =
     let full = has "--full" in
     if not figures_only then run_micro ();
     if not micro_only then run_figures ~quick:(not full)
-  end
+  end;
+  Option.iter (fun p -> Obs.write_lines p (Obs.Reg.metrics_lines Obs.default)) metrics_out;
+  Option.iter (fun p -> Obs.write_lines p (Obs.Reg.trace_lines Obs.default)) trace_out

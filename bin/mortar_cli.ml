@@ -9,8 +9,38 @@
      quickest way to play with the system. *)
 
 open Cmdliner
+module Obs = Mortar_obs.Obs
 
 let setup_registry () = Mortar_experiments.Registry.ensure ()
+
+(* ------------------------------------------------------------------ *)
+(* Observability sinks, shared by `experiments` and `run`: when either
+   output is requested, turn the default registry on for the duration
+   and dump it afterwards as JSON lines. *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry (counters, gauges, histograms) as JSON lines.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the structured event trace (sim-time stamped) as JSON lines.")
+
+let with_obs ~metrics_out ~trace_out f =
+  if metrics_out <> None || trace_out <> None then begin
+    Obs.enabled := true;
+    Obs.Reg.clear Obs.default
+  end;
+  let r = f () in
+  Option.iter (fun p -> Obs.write_lines p (Obs.Reg.metrics_lines Obs.default)) metrics_out;
+  Option.iter (fun p -> Obs.write_lines p (Obs.Reg.trace_lines Obs.default)) trace_out;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                          *)
@@ -20,11 +50,12 @@ let experiments_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Scaled-down configurations (fast).")
   in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  let run quick ids =
+  let run quick metrics_out trace_out ids =
     setup_registry ();
     match ids with
     | [] ->
-      Mortar_experiments.Common.run_all ~quick;
+      with_obs ~metrics_out ~trace_out (fun () ->
+          Mortar_experiments.Common.run_all ~quick);
       `Ok ()
     | ids ->
       let missing =
@@ -33,21 +64,22 @@ let experiments_cmd =
       if missing <> [] then
         `Error (false, "unknown experiment(s): " ^ String.concat ", " missing)
       else begin
-        List.iter
-          (fun id ->
-            match Mortar_experiments.Common.find id with
-            | Some e ->
-              Mortar_experiments.Common.header e;
-              e.Mortar_experiments.Common.run ~quick
-            | None -> ())
-          ids;
+        with_obs ~metrics_out ~trace_out (fun () ->
+            List.iter
+              (fun id ->
+                match Mortar_experiments.Common.find id with
+                | Some e ->
+                  Mortar_experiments.Common.header e;
+                  e.Mortar_experiments.Common.run ~quick
+                | None -> ())
+              ids);
         `Ok ()
       end
   in
   let info =
     Cmd.info "experiments" ~doc:"Reproduce the paper's figures (tables on stdout)."
   in
-  Cmd.v info Term.(ret (const run $ quick $ ids))
+  Cmd.v info Term.(ret (const run $ quick $ metrics_out_arg $ trace_out_arg $ ids))
 
 let list_cmd =
   let run () =
@@ -75,7 +107,7 @@ let run_cmd =
   let sensor_rate =
     Arg.(value & opt float 1.0 & info [ "rate" ] ~doc:"Sensor tuples per second per node.")
   in
-  let run file hosts duration sensor_rate =
+  let run file hosts duration sensor_rate metrics_out trace_out =
     Mortar_wifi.Wifi.register_trilat ();
     let text =
       let ic = open_in file in
@@ -88,6 +120,7 @@ let run_cmd =
     | exception Mortar_core.Msl.Parse_error { line; message } ->
       `Error (false, Printf.sprintf "%s:%d: %s" file line message)
     | program ->
+      with_obs ~metrics_out ~trace_out @@ fun () ->
       let rng = Mortar_util.Rng.create 2024 in
       let topo =
         Mortar_net.Topology.transit_stub rng ~transits:4
@@ -146,7 +179,11 @@ let run_cmd =
       `Ok ()
   in
   let info = Cmd.info "run" ~doc:"Run an MSL program on a simulated federation." in
-  Cmd.v info Term.(ret (const run $ file $ hosts $ duration $ sensor_rate))
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ file $ hosts $ duration $ sensor_rate $ metrics_out_arg
+       $ trace_out_arg))
 
 let main =
   let info =

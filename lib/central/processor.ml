@@ -2,6 +2,7 @@ module Value = Mortar_core.Value
 module Op = Mortar_core.Op
 module Index = Mortar_core.Index
 module Summary = Mortar_core.Summary
+module Obs = Mortar_obs.Obs
 
 type result = {
   slot : int;
@@ -63,6 +64,11 @@ let close t ~now slot =
         closed_at = now;
       }
     in
+    if !Obs.enabled then begin
+      Obs.incr "central.windows_closed";
+      Obs.observe "central.window_count" (float_of_int w.count);
+      Obs.trace ~t:now (Obs.Window_close { slot; count = w.count })
+    end;
     t.reported <- r :: t.reported;
     List.iter (fun f -> f r) t.handlers
 

@@ -1,5 +1,10 @@
 module Rng = Mortar_util.Rng
 module Ewma = Mortar_util.Ewma
+module Obs = Mortar_obs.Obs
+
+(* Hop-count histograms use power-of-two edges: tree paths are shallow
+   and the default decade buckets would lump everything into one. *)
+let hop_buckets = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
 
 type timer = { cancel : unit -> unit }
 
@@ -244,7 +249,10 @@ let aged_payload t p =
 
 let rec ctl_attempt t p =
   p.ctl_attempts <- p.ctl_attempts + 1;
-  if p.ctl_attempts > 1 then t.n_ctl_retx <- t.n_ctl_retx + 1;
+  if p.ctl_attempts > 1 then begin
+    t.n_ctl_retx <- t.n_ctl_retx + 1;
+    if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.ctl_retransmits"
+  end;
   send_msg t ~dst:p.ctl_dst (Msg.Reliable { token = p.ctl_token; inner = aged_payload t p });
   (* RTO: a floor covering several round trips to this destination, then
      doubled (by default) per attempt, with uniform jitter so retry storms
@@ -264,7 +272,8 @@ and ctl_expire t p =
       (* Budget exhausted: give up and let reconciliation (§6.1) repair
          whatever state the destination missed. *)
       Hashtbl.remove t.ctl_pending p.ctl_token;
-      t.n_ctl_abandoned <- t.n_ctl_abandoned + 1
+      t.n_ctl_abandoned <- t.n_ctl_abandoned + 1;
+      if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.ctl_abandoned"
     end
     else ctl_attempt t p
   end
@@ -287,7 +296,8 @@ let ctl_ack t ~src ~token =
   | Some p when p.ctl_dst = src ->
     (match p.ctl_timer with Some h -> h.cancel () | None -> ());
     Hashtbl.remove t.ctl_pending token;
-    t.n_ctl_acked <- t.n_ctl_acked + 1
+    t.n_ctl_acked <- t.n_ctl_acked + 1;
+    if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.ctl_acked"
   | _ -> () (* late, duplicate, or forged ack *)
 
 let ctl_seen_cap = 1024
@@ -403,7 +413,14 @@ and route_and_send t inst (s : Summary.t) ?(path = []) ~visited ~arrival_tree ~t
       ~visited ~arrival_tree ~ttl_down ()
   with
   | Routing.Deliver_root -> report_result t inst s
-  | Routing.Drop -> t.n_dropped <- t.n_dropped + 1
+  | Routing.Drop ->
+    t.n_dropped <- t.n_dropped + 1;
+    if !Obs.enabled then begin
+      Obs.incr ~scope:(Obs.Node t.rt.self) "peer.dropped";
+      (* dst = -1: the summary died here, no next hop existed. *)
+      Obs.trace ~t:(now_local t)
+        (Obs.Tuple_drop { src = t.rt.self; dst = -1; kind = "data"; reason = "routing" })
+    end
   | Routing.Forward { dst; tree; descended } ->
     let ttl_down = if descended then ttl_down + 1 else ttl_down in
     t.n_sent <- t.n_sent + 1;
@@ -444,6 +461,26 @@ and report_result t inst (s : Summary.t) =
     }
   in
   t.n_results <- t.n_results + 1;
+  if !Obs.enabled then begin
+    let name = meta.Query.name in
+    Obs.incr ~scope:(Obs.Node t.rt.self) "peer.results";
+    Obs.incr ~scope:(Obs.Query name) "results";
+    Obs.observe ~scope:(Obs.Query name) "result_age" s.age;
+    Obs.observe ~scope:(Obs.Query name) ~buckets:hop_buckets "result_hops"
+      (float_of_int s.hops);
+    Obs.trace ~t:(now_local t)
+      (Obs.Result
+         {
+           query = name;
+           slot = slide_slot;
+           count = s.count;
+           value = (match value with Value.Null -> 0.0 | v -> Value.to_float v);
+           hops = s.hops;
+           hops_max = s.hops_max;
+           age = s.age;
+           prov = s.prov;
+         })
+  end;
   List.iter (fun f -> f r) t.result_handlers;
   (* Results are the query's output stream: feed composed queries that
      subscribe to it locally (§2.2). Skip boundary-only results. *)
@@ -456,6 +493,11 @@ and ts_insert t inst (s : Summary.t) =
   let nd = Ewma.value_or inst.netdist 0.0 in
   let timeout = max t.cfg.min_timeout (nd -. s.age +. t.cfg.timeout_slack) in
   Ts_list.insert inst.ts ~now:b ~deadline:(b +. timeout) s;
+  if !Obs.enabled then begin
+    Obs.incr ~scope:(Obs.Node t.rt.self) "peer.ts_inserts";
+    Obs.trace ~t:(now_local t)
+      (Obs.Ts_merge { node = t.rt.self; query = inst.meta.Query.name })
+  end;
   arm_eviction t inst
 
 (* A summary created locally (source slide or tuple-window emission). *)
@@ -500,6 +542,7 @@ and close_slide t inst =
               try inst.op.Op.merge acc (inst.op.Op.lift r.payload)
               with Value.Type_error _ ->
                 t.n_type_faults <- t.n_type_faults + 1;
+                (if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.type_faults");
                 acc)
             inst.op.Op.init raws
         in
@@ -545,6 +588,7 @@ and emit_tuple_window t inst =
             try inst.op.Op.merge acc (inst.op.Op.lift r.payload)
             with Value.Type_error _ ->
               t.n_type_faults <- t.n_type_faults + 1;
+                (if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.type_faults");
               acc)
           inst.op.Op.init window_raws
       in
@@ -591,6 +635,7 @@ and inject t ~stream ?true_slot payload =
           (try Expr.apply inst.meta.Query.pre payload
            with Value.Type_error _ ->
              t.n_type_faults <- t.n_type_faults + 1;
+                (if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.type_faults");
              None)
         with
         | None -> ()
@@ -706,6 +751,10 @@ let install_local t (meta : Query.meta) view ~install_age =
       Hashtbl.replace t.instances meta.name inst;
       List.iter (retain_partner t) (Query.neighbors view);
       invalidate_digest t;
+      if !Obs.enabled then begin
+        Obs.incr ~scope:(Obs.Node t.rt.self) "peer.installs";
+        Obs.trace ~t:local (Obs.Query_install { node = t.rt.self; query = meta.name })
+      end;
       (match meta.window with
       | Window.Time { slide; _ } ->
         let b = basis inst ~local in
@@ -774,6 +823,10 @@ let replan_query t ~name treeset =
        re-deployment. A higher sequence number supersedes the old plan on
        every peer; stragglers catch up through reconciliation. *)
     let meta = { meta with Query.seqno = meta.Query.seqno + 1 } in
+    if !Obs.enabled then begin
+      Obs.incr ~scope:(Obs.Node t.rt.self) "peer.tree_repairs";
+      Obs.trace ~t:(now_local t) (Obs.Tree_repair { node = t.rt.self; query = name })
+    end;
     install_query t meta treeset
 
 let remove_query t ~name =
@@ -832,6 +885,10 @@ let maybe_reconcile t ~src ~remote_digest =
     if local -. p.last_reconcile >= min_gap then begin
       p.last_reconcile <- local;
       t.n_reconciliations <- t.n_reconciliations + 1;
+      if !Obs.enabled then begin
+        Obs.incr ~scope:(Obs.Node t.rt.self) "peer.reconciliations";
+        Obs.trace ~t:local (Obs.Reconcile_round { node = t.rt.self; partner = src })
+      end;
       send_msg t ~dst:src
         (Msg.Reconcile_request
            { installed = installed_triples t; removed = removed_pairs t })
@@ -875,6 +932,7 @@ let already_emitted t inst (s : Summary.t) =
 
 let handle_data t ~src ~query ~seqno:_ ~tree ~summary ~visited ~path ~ttl_down =
   t.n_received <- t.n_received + 1;
+  if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.received";
   match Hashtbl.find_opt t.instances query with
   | None -> () (* not installed (yet); reconciliation will catch us up *)
   | Some inst ->
@@ -906,6 +964,7 @@ let handle_data t ~src ~query ~seqno:_ ~tree ~summary ~visited ~path ~ttl_down =
     else if already_emitted t inst s then begin
       (* Late tuple: pass through toward the root without merging. *)
       t.n_late <- t.n_late + 1;
+      if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.late";
       if t.rt.self = inst.meta.Query.root then () (* window already reported *)
       else begin
         let visited =
@@ -1044,6 +1103,10 @@ let query_seqno t name =
   Option.map (fun inst -> inst.meta.Query.seqno) (Hashtbl.find_opt t.instances name)
 
 let crash t =
+  if !Obs.enabled then begin
+    Obs.incr ~scope:(Obs.Node t.rt.self) "peer.crashes";
+    Obs.trace ~t:(now_local t) (Obs.Crash { node = t.rt.self })
+  end;
   Hashtbl.iter (fun _ inst -> cancel_instance_timers inst) t.instances;
   Hashtbl.reset t.instances;
   Hashtbl.reset t.removed;

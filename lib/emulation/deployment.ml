@@ -5,6 +5,7 @@ module Transport = Mortar_net.Transport
 module Faults = Mortar_net.Faults
 module Peer = Mortar_core.Peer
 module Rng = Mortar_util.Rng
+module Obs = Mortar_obs.Obs
 
 type t = {
   engine : Engine.t;
@@ -77,7 +78,11 @@ let run_until t time = Engine.run ~until:time t.engine
 
 let at t time f = ignore (Engine.schedule_at t.engine ~at:time f)
 
-let set_up t node up = Transport.set_up t.transport node up
+let set_up t node up =
+  if !Obs.enabled && Transport.is_up t.transport node <> up then
+    Obs.trace ~t:(Engine.now t.engine)
+      (if up then Obs.Node_up { node } else Obs.Node_down { node });
+  Transport.set_up t.transport node up
 
 let up_hosts t =
   let rec loop i acc =
@@ -142,10 +147,14 @@ type fault_event =
   | Correlated_crash of { stub : int; fraction : float; at : float; recover_at : float }
 
 (* Install a link condition at [from] and heal it at [until]. *)
-let windowed t ~from ~until install =
+let windowed t ~desc ~from ~until install =
   let id = ref None in
-  at t from (fun () -> id := Some (install ()));
-  at t until (fun () -> Option.iter (Faults.clear t.faults) !id)
+  at t from (fun () ->
+      if !Obs.enabled then Obs.trace ~t:(now t) (Obs.Fault_start { fault = desc });
+      id := Some (install ()));
+  at t until (fun () ->
+      if !Obs.enabled then Obs.trace ~t:(now t) (Obs.Fault_stop { fault = desc });
+      Option.iter (Faults.clear t.faults) !id)
 
 (* Take a node down at [at] and bring it back at [recover_at] as a fresh
    process: all in-memory state is lost (Peer.crash) and reconciliation
@@ -158,16 +167,22 @@ let crash_window t ~node ~at:down_at ~recover_at =
 
 let schedule_fault t = function
   | Partition { a; from; until } ->
-    windowed t ~from ~until (fun () -> Faults.partition t.faults ~a ~b:(complement t a))
+    windowed t ~desc:"partition" ~from ~until (fun () ->
+        Faults.partition t.faults ~a ~b:(complement t a))
   | Partition_stub { stub; from; until } ->
-    windowed t ~from ~until (fun () -> Faults.isolate t.faults (stub_hosts t stub))
+    windowed t
+      ~desc:(Printf.sprintf "partition_stub:%d" stub)
+      ~from ~until
+      (fun () -> Faults.isolate t.faults (stub_hosts t stub))
   | Link_loss { src; dst; rate; sym; from; until } ->
-    windowed t ~from ~until (fun () -> Faults.loss t.faults ~sym ~src ~dst ~rate ())
+    windowed t ~desc:"link_loss" ~from ~until (fun () ->
+        Faults.loss t.faults ~sym ~src ~dst ~rate ())
   | Bursty_loss { src; dst; p_enter; p_exit; loss_bad; loss_good; from; until } ->
-    windowed t ~from ~until (fun () ->
+    windowed t ~desc:"bursty_loss" ~from ~until (fun () ->
         Faults.bursty t.faults ~loss_good ~src ~dst ~p_enter ~p_exit ~loss_bad ())
   | Link_jitter { src; dst; extra; prob; from; until } ->
-    windowed t ~from ~until (fun () -> Faults.jitter t.faults ~prob ~src ~dst ~extra ())
+    windowed t ~desc:"link_jitter" ~from ~until (fun () ->
+        Faults.jitter t.faults ~prob ~src ~dst ~extra ())
   | Crash_recover { node; at; recover_at } -> crash_window t ~node ~at ~recover_at
   | Correlated_crash { stub; fraction; at = down_at; recover_at } ->
     (* Victims are drawn when the fault fires, from the deployment RNG,

@@ -3,6 +3,7 @@ module Peer = Mortar_core.Peer
 module Query = Mortar_core.Query
 module Value = Mortar_core.Value
 module Window = Mortar_core.Window
+module Obs = Mortar_obs.Obs
 
 type recorded = {
   sim_time : float;
@@ -14,12 +15,17 @@ type recorded = {
   age : float;
 }
 
+(* Results live in a private observability registry (always on,
+   independent of the global [Obs.enabled] gate): every figure number is
+   derived from [Result] trace events and query-scoped metrics rather
+   than ad-hoc accumulators, so what an experiment reports is exactly
+   what an external metrics dump would show. *)
 type t = {
   d : D.t;
   treeset : Mortar_overlay.Treeset.t;
   window : float;
-  mutable recorded : recorded list; (* newest first *)
-  mutable prov : (float * (int * int) list) list;
+  reg : Obs.Reg.t;
+  track_provenance : bool;
 }
 
 let query_name = "peer-count"
@@ -38,26 +44,30 @@ let create ?(seed = 42) ?(hosts = 680) ?(transits = 8) ?(stubs = 34) ?(bf = 16) 
       ~window:(Window.tumbling window) ~mode ~root:0 ~degree ~total_nodes:hosts ~aggregate
       ~track_provenance ()
   in
-  let t = { d; treeset; window; recorded = []; prov = [] } in
+  let t = { d; treeset; window; reg = Obs.Reg.create (); track_provenance } in
   for i = 0 to hosts - 1 do
     D.sensor d ~node:i ~stream:"ones" ~period:1.0
       ?truth_slide:(if track_provenance then Some window else None)
       (fun _ -> Value.Int 1)
   done;
+  let scope = Obs.Query query_name in
   Peer.on_result (D.peer d 0) (fun (r : Peer.result) ->
       let value = match r.value with Value.Null -> 0.0 | v -> Value.to_float v in
-      t.recorded <-
-        {
-          sim_time = D.now d;
-          slot = r.slot;
-          count = r.count;
-          value;
-          hops = r.hops;
-          hops_max = r.hops_max;
-          age = r.age;
-        }
-        :: t.recorded;
-      if track_provenance then t.prov <- (D.now d, r.prov) :: t.prov);
+      Obs.Reg.incr t.reg ~scope "results";
+      Obs.Reg.observe t.reg ~scope "result_age" r.age;
+      Obs.Reg.observe t.reg ~scope "result_count" (float_of_int r.count);
+      Obs.Reg.trace t.reg ~t:(D.now d)
+        (Obs.Result
+           {
+             query = query_name;
+             slot = r.slot;
+             count = r.count;
+             value;
+             hops = r.hops;
+             hops_max = r.hops_max;
+             age = r.age;
+             prov = (if track_provenance then r.prov else []);
+           }));
   D.at d install_at (fun () -> Peer.install_query (D.peer d 0) meta treeset);
   t
 
@@ -65,14 +75,29 @@ let deployment t = t.d
 
 let treeset t = t.treeset
 
+let registry t = t.reg
+
 let run_until t time = D.run_until t.d time
 
-let results t = List.rev t.recorded
+let results t =
+  List.filter_map
+    (function
+      | sim_time, Obs.Result { slot; count; value; hops; hops_max; age; _ } ->
+        Some { sim_time; slot; count; value; hops; hops_max; age }
+      | _ -> None)
+    (Obs.Reg.events t.reg)
 
 let results_between t t0 t1 =
   List.filter (fun r -> r.sim_time >= t0 && r.sim_time < t1) (results t)
 
-let provenance_results t = List.rev t.prov
+let provenance_results t =
+  if not t.track_provenance then []
+  else
+    List.filter_map
+      (function
+        | at, Obs.Result { prov; _ } -> Some (at, prov)
+        | _ -> None)
+      (Obs.Reg.events t.reg)
 
 let live_hosts t = List.length (D.up_hosts t.d)
 

@@ -48,6 +48,13 @@ val deployment : t -> Mortar_emul.Deployment.t
 
 val treeset : t -> Mortar_overlay.Treeset.t
 
+val registry : t -> Mortar_obs.Obs.Reg.t
+(** The harness's private metrics registry (always live, independent of
+    the global [Obs.enabled] gate). Every root result is recorded here as
+    an [Obs.Result] trace event plus query-scoped metrics ([results]
+    counter, [result_age] / [result_count] histograms); the figure
+    accessors below are all derived from it. *)
+
 val query_name : string
 
 val run_until : t -> float -> unit

@@ -1,4 +1,5 @@
 module Rng = Mortar_util.Rng
+module Obs = Mortar_obs.Obs
 
 type id = int
 
@@ -99,10 +100,12 @@ let apply t ~src ~dst acc c =
     match c.eff with
     | Cut ->
       t.cut_drops <- t.cut_drops + 1;
+      if !Obs.enabled then Obs.incr "faults.cut_drops";
       { acc with drop = true }
     | Loss rate ->
       if Rng.float t.rng 1.0 < rate then begin
         t.loss_drops <- t.loss_drops + 1;
+        if !Obs.enabled then Obs.incr "faults.loss_drops";
         { acc with drop = true }
       end
       else acc
@@ -124,12 +127,14 @@ let apply t ~src ~dst acc c =
       let rate = if !bad then loss_bad else loss_good in
       if rate > 0.0 && Rng.float t.rng 1.0 < rate then begin
         t.loss_drops <- t.loss_drops + 1;
+        if !Obs.enabled then Obs.incr "faults.loss_drops";
         { acc with drop = true }
       end
       else acc
     | Delay { extra; prob } ->
       if prob >= 1.0 || Rng.float t.rng 1.0 < prob then begin
         t.delayed <- t.delayed + 1;
+        if !Obs.enabled then Obs.incr "faults.delayed";
         { acc with extra_delay = acc.extra_delay +. Rng.float t.rng extra }
       end
       else acc

@@ -1,3 +1,5 @@
+module Obs = Mortar_obs.Obs
+
 (* Per-destination duplicate-suppression memory, bounded: keys are
    remembered FIFO and the oldest forgotten beyond [cap], so a long
    simulation cannot leak (§4.3 only needs recent keys — retransmits
@@ -112,31 +114,84 @@ let duplicate t ~dst ~key =
 let seen_keys t ~dst =
   match t.seen.(dst) with None -> 0 | Some e -> Hashtbl.length e.tbl
 
+(* The branch structure below mirrors the old short-circuit condition
+   exactly — the loss draw happens only when both endpoints are up, and
+   [Faults.decide] only when the loss draw passes — so seeded replays
+   consume the RNG in the same order whether or not Obs is enabled. *)
 let send t ~src ~dst ~size ?(kind = "data") ?key payload =
   t.sent <- t.sent + 1;
-  if t.up.(src) && t.up.(dst) && (Float.equal t.loss 0.0 || Mortar_util.Rng.float t.rng 1.0 >= t.loss)
-  then begin
+  if not (t.up.(src) && t.up.(dst)) then begin
+    if !Obs.enabled then begin
+      Obs.incr "transport.dropped.down";
+      Obs.trace
+        ~t:(Mortar_sim.Engine.now t.engine)
+        (Obs.Tuple_drop { src; dst; kind; reason = "down" })
+    end
+  end
+  else if not (Float.equal t.loss 0.0 || Mortar_util.Rng.float t.rng 1.0 >= t.loss) then begin
+    if !Obs.enabled then begin
+      Obs.incr "transport.dropped.loss";
+      Obs.trace
+        ~t:(Mortar_sim.Engine.now t.engine)
+        (Obs.Tuple_drop { src; dst; kind; reason = "loss" })
+    end
+  end
+  else begin
     let verdict =
       match t.faults with
       | None -> { Faults.drop = false; extra_delay = 0.0 }
       | Some f -> Faults.decide f ~src ~dst
     in
-    if not verdict.Faults.drop then begin
+    if verdict.Faults.drop then begin
+      if !Obs.enabled then begin
+        Obs.incr "transport.dropped.fault";
+        Obs.trace
+          ~t:(Mortar_sim.Engine.now t.engine)
+          (Obs.Tuple_drop { src; dst; kind; reason = "fault" })
+      end
+    end
+    else begin
       let hops = max 1 (Topology.hops t.topo src dst) in
       account t ~kind ~bytes:(float_of_int (size * hops));
+      if !Obs.enabled then begin
+        Obs.incr ("transport.sent." ^ kind);
+        Obs.trace
+          ~t:(Mortar_sim.Engine.now t.engine)
+          (Obs.Tuple_send { src; dst; kind; size })
+      end;
       let delay = Topology.latency t.topo src dst +. verdict.Faults.extra_delay in
       let deliver () =
         (* Only the destination's liveness matters at delivery time: a
            datagram already in flight outlives its sender's crash. *)
         if t.up.(dst) then begin
           let dup = match key with Some k -> duplicate t ~dst ~key:k | None -> false in
-          if not dup then
+          if dup then begin
+            if !Obs.enabled then begin
+              Obs.incr "transport.dup_suppressed";
+              Obs.trace
+                ~t:(Mortar_sim.Engine.now t.engine)
+                (Obs.Dup_suppressed { dst; kind })
+            end
+          end
+          else
             match t.handlers.(dst) with
             | Some f ->
               t.delivered <- t.delivered + 1;
+              if !Obs.enabled then begin
+                Obs.incr "transport.delivered";
+                Obs.trace
+                  ~t:(Mortar_sim.Engine.now t.engine)
+                  (Obs.Tuple_recv { src; dst; kind })
+              end;
               Array.iter (fun obs -> obs ~src ~dst ~kind) t.observers;
               f ~src payload
             | None -> ()
+        end
+        else if !Obs.enabled then begin
+          Obs.incr "transport.dropped.down_at_delivery";
+          Obs.trace
+            ~t:(Mortar_sim.Engine.now t.engine)
+            (Obs.Tuple_drop { src; dst; kind; reason = "down_at_delivery" })
         end
       in
       ignore (Mortar_sim.Engine.schedule t.engine ~after:delay deliver)

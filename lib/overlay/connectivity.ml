@@ -1,4 +1,5 @@
 module Rng = Mortar_util.Rng
+module Obs = Mortar_obs.Obs
 
 type scheme =
   | Single_tree
@@ -138,12 +139,20 @@ type trial_result = { mean : float; stddev : float }
 let run_trials ~seed ~n ~bf ~trials ~link_failure scheme =
   let rng = Rng.create seed in
   let d = degree_of scheme in
+  let scope = Obs.Query (scheme_name scheme) in
   let samples =
     Array.init trials (fun _ ->
         let nodes = Array.init (n - 1) (fun i -> i + 1) in
         let trees =
           Array.init d (fun _ -> Builder.random_tree rng ~bf ~root:0 ~nodes)
         in
-        100.0 *. completeness rng ~trees ~link_failure scheme)
+        let pct = 100.0 *. completeness rng ~trees ~link_failure scheme in
+        if !Obs.enabled then begin
+          Obs.incr ~scope "connectivity.trials";
+          Obs.observe ~scope
+            ~buckets:[| 10.0; 25.0; 50.0; 75.0; 90.0; 95.0; 99.0; 100.0 |]
+            "connectivity.completeness_pct" pct
+        end;
+        pct)
   in
   { mean = Mortar_util.Stats.mean samples; stddev = Mortar_util.Stats.stddev samples }

@@ -61,6 +61,8 @@ let compute_levels ~root ~parent ~children =
     invalid_arg "Tree.of_parents: graph is not a single tree rooted at root";
   level
 
+module Obs = Mortar_obs.Obs
+
 let of_parents ~root edge_list =
   let parent = Hashtbl.create (List.length edge_list) in
   let children = Hashtbl.create (List.length edge_list) in
@@ -76,7 +78,14 @@ let of_parents ~root edge_list =
      hash-ordered, and child order is simulation-visible (send order). *)
   Hashtbl.filter_map_inplace (fun _ cs -> Some (List.sort compare cs)) children;
   let level = compute_levels ~root ~parent ~children in
-  { root; parent; children; level }
+  let t = { root; parent; children; level } in
+  if !Obs.enabled then begin
+    Obs.incr "overlay.trees_built";
+    (* height is an O(n) fold over [level]; only paid when observing. *)
+    Obs.observe ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |] "overlay.tree_height"
+      (float_of_int (height t))
+  end;
+  t
 
 let post_order t =
   let rec visit n acc =

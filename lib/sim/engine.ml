@@ -1,3 +1,5 @@
+module Obs = Mortar_obs.Obs
+
 type handle = {
   mutable cancelled : bool;
   mutable queued : bool; (* still sitting in some engine's queue *)
@@ -87,6 +89,7 @@ let rec step t =
     else begin
       t.clock <- ev.time;
       t.fired <- t.fired + 1;
+      if !Obs.enabled then Obs.incr "engine.events_fired";
       ev.action ();
       true
     end
