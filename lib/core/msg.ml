@@ -23,6 +23,7 @@ type payload =
   | Remove of { name : string; seqno : int }
   | View_request of { name : string }
   | View_reply of { meta : Query.meta; view : Query.node_view option; age : float }
+  | Adopt of { query : string; seqno : int; tree : int }
   | Reliable of { token : int; inner : payload }
   | Ack of { token : int }
 
@@ -43,6 +44,7 @@ let rec wire_size = function
     + (8 * List.length edges)
   | Remove { name; _ } -> 24 + String.length name
   | View_request { name } -> 24 + String.length name
+  | Adopt { query; _ } -> 24 + String.length query + 8
   | View_reply { meta; view; _ } ->
     24 + Query.meta_wire_size meta
     + (match view with Some v -> Query.view_wire_size v | None -> 0)
@@ -54,7 +56,7 @@ let rec kind = function
   | Heartbeat _ -> "heartbeat"
   | Reliable { inner; _ } -> kind inner
   | Reconcile_request _ | Reconcile_reply _ | Install _ | Remove _ | View_request _
-  | View_reply _ | Ack _ ->
+  | View_reply _ | Adopt _ | Ack _ ->
     "control"
 
 let rec pp ppf = function
@@ -69,5 +71,6 @@ let rec pp ppf = function
   | Remove { name; seqno } -> Format.fprintf ppf "remove[%s#%d]" name seqno
   | View_request { name } -> Format.fprintf ppf "view-request[%s]" name
   | View_reply { meta; _ } -> Format.fprintf ppf "view-reply[%s]" meta.Query.name
+  | Adopt { query; seqno; tree } -> Format.fprintf ppf "adopt[%s#%d tree=%d]" query seqno tree
   | Reliable { token; inner } -> Format.fprintf ppf "reliable#%d[%a]" token pp inner
   | Ack { token } -> Format.fprintf ppf "ack#%d" token

@@ -40,6 +40,12 @@ type payload =
       (** Sent to a query root by a peer (re)installing via
           reconciliation. *)
   | View_reply of { meta : Query.meta; view : Query.node_view option; age : float }
+  | Adopt of { query : string; seqno : int; tree : int }
+      (** Self-healing: the sender re-parented onto the receiver on [tree]
+          after losing every union parent, and asks to be recorded as a
+          child there — restoring the heartbeat symmetry and downward
+          (flex-down) reachability the static view would otherwise lose.
+          Ignored unless the receiver runs the same [query]/[seqno]. *)
   | Reliable of { token : int; inner : payload }
       (** Reliable-delivery envelope for control messages: the receiver
           acks [token] back to the sender and processes [inner] once;

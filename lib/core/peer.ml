@@ -32,6 +32,8 @@ type config = {
   ctl_timeout : float; (* base retransmission timeout floor, seconds *)
   ctl_backoff : float; (* timeout multiplier per attempt *)
   ctl_jitter : float; (* uniform fraction added to each timeout *)
+  self_heal : bool; (* failure-driven tree repair + crash-rejoin warm-up *)
+  warmup_buffer : int; (* summaries buffered for an uninstalled query *)
 }
 
 let default_config =
@@ -53,6 +55,11 @@ let default_config =
     ctl_timeout = 0.5;
     ctl_backoff = 2.0;
     ctl_jitter = 0.25;
+    (* Off by default for the same reason: repair mutates views and ships
+       extra install metadata, which would shift every seeded figure. The
+       soak/robustness runs opt in. *)
+    self_heal = false;
+    warmup_buffer = 0;
   }
 
 type result = {
@@ -82,6 +89,12 @@ type stats = {
   ctl_acked : int;
   ctl_retransmits : int;
   ctl_abandoned : int;
+  repairs : int;
+  reparent_edges : int;
+  warmup_buffered : int;
+  warmup_replayed : int;
+  warmup_dropped : int;
+  partners_swept : int;
 }
 
 type raw = { basis : float; payload : Value.t; prov : (int * int) list }
@@ -107,11 +120,19 @@ type instance = {
   mutable eviction_timer : timer option;
   mutable slide_timer : timer option;
   mutable boundary_timer : timer option;
+  mutable orphaned_since : float option;
+      (* local time the failure detector first saw every union parent dead;
+         cleared once a repaired parent is confirmed live (self-healing) *)
 }
 
 type partner = {
   mutable refcount : int;
   mutable last_heard : float;
+      (* optimistic: refreshed on retain/adopt so a new partner gets a full
+         timeout window before being declared dead *)
+  mutable last_confirmed : float;
+      (* pessimistic: only actual receipt from the partner updates this —
+         repair completion requires a confirmed-live parent *)
   mutable last_reconcile : float;
 }
 
@@ -128,6 +149,23 @@ type pending_ctl = {
   mutable ctl_timer : timer option;
 }
 
+(* A data summary that arrived for a query we have not (re)installed yet:
+   held verbatim until the install lands, then replayed through the normal
+   data path. [wu_at] re-ages the summary by the buffering delay at replay
+   so syncless relabeling still files it into its original window — replay
+   must never shift a contribution into a different slot (that would be
+   the over-counting failure repair exists to prevent). *)
+type warmup_entry = {
+  wu_src : int;
+  wu_seqno : int;
+  wu_tree : int;
+  wu_summary : Summary.t;
+  wu_visited : (int * int) list;
+  wu_path : int list;
+  wu_ttl : int;
+  wu_at : float; (* local arrival time *)
+}
+
 type t = {
   rt : runtime;
   cfg : config;
@@ -137,6 +175,9 @@ type t = {
   partners : (int, partner) Hashtbl.t;
   plans : (string, Query.meta * Mortar_overlay.Treeset.t) Hashtbl.t; (* injector only *)
   pending_views : (string, float) Hashtbl.t; (* name -> last request local time *)
+  warmup : (string, warmup_entry Queue.t) Hashtbl.t; (* name -> buffered data *)
+  fast_resync : (string, float) Hashtbl.t; (* name -> last warm-up resync time *)
+  mutable warmup_len : int; (* entries across all queries, <= cfg.warmup_buffer *)
   ctl_pending : (int, pending_ctl) Hashtbl.t; (* token -> unacked ctl msg *)
   seen_ctl : (int * int, unit) Hashtbl.t; (* (src, token) already processed *)
   seen_ctl_order : (int * int) Queue.t; (* FIFO pruning for seen_ctl *)
@@ -160,6 +201,12 @@ type t = {
   mutable n_ctl_acked : int;
   mutable n_ctl_retx : int;
   mutable n_ctl_abandoned : int;
+  mutable n_repairs : int;
+  mutable n_reparent_edges : int;
+  mutable n_warmup_buffered : int;
+  mutable n_warmup_replayed : int;
+  mutable n_warmup_dropped : int;
+  mutable n_partners_swept : int;
 }
 
 let self t = t.rt.self
@@ -196,7 +243,10 @@ let partner_of t node =
   match Hashtbl.find_opt t.partners node with
   | Some p -> p
   | None ->
-    let p = { refcount = 0; last_heard = now_local t; last_reconcile = neg_infinity } in
+    let p =
+      { refcount = 0; last_heard = now_local t; last_confirmed = neg_infinity;
+        last_reconcile = neg_infinity }
+    in
     Hashtbl.replace t.partners node p;
     p
 
@@ -219,8 +269,16 @@ let alive_neighbor t node =
 
 let heard_from t src =
   match Hashtbl.find_opt t.partners src with
-  | Some p -> p.last_heard <- now_local t
+  | Some p ->
+    let local = now_local t in
+    p.last_heard <- local;
+    p.last_confirmed <- local
   | None -> ()
+
+let confirmed_alive t node =
+  match Hashtbl.find_opt t.partners node with
+  | None -> false
+  | Some p -> now_local t -. p.last_confirmed < t.cfg.hb_timeout_factor *. t.cfg.hb_period
 
 (* ------------------------------------------------------------------ *)
 (* Sending helpers.                                                    *)
@@ -655,6 +713,175 @@ and inject t ~stream ?true_slot payload =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Data arrival. Defined before install so a completed install can
+   replay warm-up-buffered summaries through the normal data path.     *)
+
+let relabel_for_mode t inst (s : Summary.t) =
+  match inst.meta.Query.mode with
+  | Query.Timestamp ->
+    (* With timestamps there is no carried age: an operator can only infer
+       a tuple's delay from its timestamp — [now - index midpoint]. Under
+       relative clock offset this inference is wrong by the offset, which
+       is precisely how offset pollutes netDist and stalls windows (§5). *)
+    let b = basis inst ~local:(now_local t) in
+    let midpoint = (s.index.Index.tb +. s.index.Index.te) /. 2.0 in
+    { s with Summary.age = max 0.0 (b -. midpoint) }
+  | Query.Syncless -> (
+    let b = basis inst ~local:(now_local t) in
+    match inst.meta.Query.window with
+    | Window.Time { slide; _ } ->
+      (* Fig 7: index <- (t_ref - T.age) / slide, a purely local label. *)
+      let slot = Index.slot ~slide (b -. s.age) in
+      { s with Summary.index = Index.of_slot ~slide slot }
+    | Window.Tuples _ ->
+      (* Center the interval at the age-implied local instant, keeping its
+         duration: the interval endpoints were in the sender's basis. *)
+      let d = Index.duration s.index in
+      let center = b -. s.age in
+      { s with Summary.index = Index.make ~tb:(center -. (d /. 2.0)) ~te:(center +. (d /. 2.0)) })
+
+let already_emitted t inst (s : Summary.t) =
+  ignore t;
+  match inst.meta.Query.window with
+  | Window.Time { slide; _ } ->
+    let slot = Index.slot ~slide (s.index.Index.tb +. (slide /. 2.0)) in
+    Hashtbl.mem inst.emitted slot
+  | Window.Tuples _ -> s.index.Index.te <= inst.emitted_te
+
+(* Warm-up (crash-rejoin): a summary for a query we have not (re)installed
+   is buffered instead of silently dropped, and the sender is asked for
+   the management state immediately — the digest cadence alone leaves a
+   rejoined peer dark for up to [reconcile_every] heartbeat periods. *)
+let warmup_capture t ~src ~query ~seqno ~tree ~summary ~visited ~path ~ttl_down =
+  let removed =
+    match Hashtbl.find_opt t.removed query with Some s -> s >= seqno | None -> false
+  in
+  let not_mine =
+    match Hashtbl.find_opt t.not_mine query with Some s -> s >= seqno | None -> false
+  in
+  if (not removed) && not not_mine then begin
+    let local = now_local t in
+    let recently =
+      match Hashtbl.find_opt t.fast_resync query with
+      | Some at -> local -. at < t.cfg.hb_period
+      | None -> false
+    in
+    if not recently then begin
+      Hashtbl.replace t.fast_resync query local;
+      if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.fast_resyncs";
+      send_msg t ~dst:src
+        (Msg.Reconcile_request { installed = installed_triples t; removed = removed_pairs t })
+    end;
+    if t.cfg.warmup_buffer <= 0 then begin
+      t.n_warmup_dropped <- t.n_warmup_dropped + 1;
+      if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.warmup_drops"
+    end
+    else begin
+      let q =
+        match Hashtbl.find_opt t.warmup query with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.replace t.warmup query q;
+          q
+      in
+      if Queue.length q >= t.cfg.warmup_buffer then begin
+        (* Full: drop the oldest entry — the freshest summaries are the
+           ones still inside their windows when the install lands. *)
+        ignore (Queue.pop q);
+        t.warmup_len <- t.warmup_len - 1;
+        t.n_warmup_dropped <- t.n_warmup_dropped + 1;
+        if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.warmup_drops"
+      end;
+      Queue.push
+        { wu_src = src; wu_seqno = seqno; wu_tree = tree; wu_summary = summary;
+          wu_visited = visited; wu_path = path; wu_ttl = ttl_down; wu_at = local }
+        q;
+      t.warmup_len <- t.warmup_len + 1;
+      t.n_warmup_buffered <- t.n_warmup_buffered + 1;
+      if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.warmup_buffered"
+    end
+  end
+
+let drop_warmup t name =
+  match Hashtbl.find_opt t.warmup name with
+  | None -> ()
+  | Some q ->
+    t.warmup_len <- t.warmup_len - Queue.length q;
+    Hashtbl.remove t.warmup name
+
+let handle_data t ~src ~query ~seqno ~tree ~summary ~visited ~path ~ttl_down =
+  t.n_received <- t.n_received + 1;
+  if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.received";
+  match Hashtbl.find_opt t.instances query with
+  | None ->
+    (* Not installed (yet); reconciliation will catch us up. With
+       self-healing on, start that reconciliation now and hold the summary
+       for replay instead of dropping it. *)
+    if t.cfg.self_heal then
+      warmup_capture t ~src ~query ~seqno ~tree ~summary ~visited ~path ~ttl_down
+  | Some inst ->
+    let latency = t.rt.latency_to src in
+    let s =
+      { summary with
+        Summary.age = summary.Summary.age +. latency;
+        Summary.hops = summary.Summary.hops + 1;
+        Summary.hops_max = summary.Summary.hops_max + 1
+      }
+    in
+    let s = relabel_for_mode t inst s in
+    (* netDist (§4.3): an EWMA (alpha = 10 %, the paper's footnote) of the
+       maximum received age, folded per slide period. On its own a
+       max-based estimate diverges under dynamic striping — sibling trees
+       can make two nodes each other's parents, so each would wait for the
+       other's waits — but the headroom cap on eviction deadlines bounds
+       every age in the system, which bounds this estimate too. In
+       timestamp mode the age is the timestamp-inferred delay, so offset
+       inflates the estimate and with it every wait. *)
+    if s.Summary.age > inst.age_max_period then inst.age_max_period <- s.Summary.age;
+    if inst.meta.Query.aggregate = false && t.rt.self <> inst.meta.Query.root then begin
+      (* No-aggregation baseline: pass everything through. *)
+      let visited =
+        Routing.update_visited visited ~tree ~level:inst.view.Query.levels.(tree)
+      in
+      route_and_send t inst s ~path ~visited ~arrival_tree:tree ~ttl_down ()
+    end
+    else if already_emitted t inst s then begin
+      (* Late tuple: pass through toward the root without merging. *)
+      t.n_late <- t.n_late + 1;
+      if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.late";
+      if t.rt.self = inst.meta.Query.root then () (* window already reported *)
+      else begin
+        let visited =
+          Routing.update_visited visited ~tree ~level:inst.view.Query.levels.(tree)
+        in
+        route_and_send t inst s ~path ~visited ~arrival_tree:tree ~ttl_down ()
+      end
+    end
+    else ts_insert t inst s
+
+(* Replay buffered summaries once their query's install lands. The age is
+   bumped by the buffering delay so syncless relabeling files each one
+   into the window it was originally destined for. *)
+let replay_warmup t name =
+  match Hashtbl.find_opt t.warmup name with
+  | None -> ()
+  | Some q ->
+    Hashtbl.remove t.warmup name;
+    let local = now_local t in
+    Queue.iter
+      (fun e ->
+        t.warmup_len <- t.warmup_len - 1;
+        t.n_warmup_replayed <- t.n_warmup_replayed + 1;
+        if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.warmup_replayed";
+        let summary =
+          { e.wu_summary with Summary.age = e.wu_summary.Summary.age +. (local -. e.wu_at) }
+        in
+        handle_data t ~src:e.wu_src ~query:name ~seqno:e.wu_seqno ~tree:e.wu_tree ~summary
+          ~visited:e.wu_visited ~path:e.wu_path ~ttl_down:e.wu_ttl)
+      q
+
+(* ------------------------------------------------------------------ *)
 (* Install / remove.                                                   *)
 
 let cancel_instance_timers inst =
@@ -677,7 +904,8 @@ let remove_local t ~name ~seqno =
   if seqno > prev then begin
     Hashtbl.replace t.removed name seqno;
     invalidate_digest t
-  end
+  end;
+  drop_warmup t name
 
 let install_local t (meta : Query.meta) view ~install_age =
   let removed_seqno = Option.value (Hashtbl.find_opt t.removed meta.name) ~default:min_int in
@@ -746,6 +974,7 @@ let install_local t (meta : Query.meta) view ~install_age =
           eviction_timer = None;
           slide_timer = None;
           boundary_timer = None;
+          orphaned_since = None;
         }
       in
       Hashtbl.replace t.instances meta.name inst;
@@ -764,7 +993,11 @@ let install_local t (meta : Query.meta) view ~install_age =
           Some (t.rt.set_timer ~after:(max 0.001 (next_fire -. b)) (fun () -> close_slide t inst))
       | Window.Tuples _ ->
         inst.boundary_timer <-
-          Some (t.rt.set_timer ~after:t.cfg.boundary_period (fun () -> boundary_check t inst)))
+          Some (t.rt.set_timer ~after:t.cfg.boundary_period (fun () -> boundary_check t inst)));
+      (* Crash-rejoin warm-up: summaries that arrived while this query was
+         uninstalled re-enter the striping rotation now. *)
+      Hashtbl.remove t.fast_resync meta.name;
+      replay_warmup t meta.name
     end
   end
 
@@ -805,7 +1038,9 @@ let install_query t (meta : Query.meta) treeset =
   if meta.Query.root <> t.rt.self then
     invalid_arg "Peer.install_query: meta.root is not this peer";
   Hashtbl.replace t.plans meta.Query.name (meta, treeset);
-  let chunks = Query.chunk_plan treeset ~chunks:t.cfg.install_chunks in
+  let chunks =
+    Query.chunk_plan ~repair_meta:t.cfg.self_heal treeset ~chunks:t.cfg.install_chunks
+  in
   List.iter
     (fun (chunk : Query.chunk) ->
       if chunk.entry = t.rt.self then
@@ -896,84 +1131,138 @@ let maybe_reconcile t ~src ~remote_digest =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Data arrival.                                                       *)
+(* Failure-driven tree repair (self-healing).                          *)
 
-let relabel_for_mode t inst (s : Summary.t) =
-  match inst.meta.Query.mode with
-  | Query.Timestamp ->
-    (* With timestamps there is no carried age: an operator can only infer
-       a tuple's delay from its timestamp — [now - index midpoint]. Under
-       relative clock offset this inference is wrong by the offset, which
-       is precisely how offset pollutes netDist and stalls windows (§5). *)
-    let b = basis inst ~local:(now_local t) in
-    let midpoint = (s.index.Index.tb +. s.index.Index.te) /. 2.0 in
-    { s with Summary.age = max 0.0 (b -. midpoint) }
-  | Query.Syncless -> (
-    let b = basis inst ~local:(now_local t) in
-    match inst.meta.Query.window with
-    | Window.Time { slide; _ } ->
-      (* Fig 7: index <- (t_ref - T.age) / slide, a purely local label. *)
-      let slot = Index.slot ~slide (b -. s.age) in
-      { s with Summary.index = Index.of_slot ~slide slot }
-    | Window.Tuples _ ->
-      (* Center the interval at the age-implied local instant, keeping its
-         duration: the interval endpoints were in the sender's basis. *)
-      let d = Index.duration s.index in
-      let center = b -. s.age in
-      { s with Summary.index = Index.make ~tb:(center -. (d /. 2.0)) ~te:(center +. (d /. 2.0)) })
+let mttr_buckets = [| 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
 
-let already_emitted t inst (s : Summary.t) =
-  ignore t;
-  match inst.meta.Query.window with
-  | Window.Time { slide; _ } ->
-    let slot = Index.slot ~slide (s.index.Index.tb +. (slide /. 2.0)) in
-    Hashtbl.mem inst.emitted slot
-  | Window.Tuples _ -> s.index.Index.te <= inst.emitted_te
+(* Re-balance partner refcounts after a view mutation. Refcounts are held
+   per distinct neighbor (install retains each once), so the diff must be
+   computed over the whole neighbor set, not per edge. *)
+let update_partner_refs t ~before ~after =
+  List.iter (fun n -> if not (List.mem n after) then release_partner t n) before;
+  List.iter (fun n -> if not (List.mem n before) then retain_partner t n) after
 
-let handle_data t ~src ~query ~seqno:_ ~tree ~summary ~visited ~path ~ttl_down =
-  t.n_received <- t.n_received + 1;
-  if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.received";
-  match Hashtbl.find_opt t.instances query with
-  | None -> () (* not installed (yet); reconciliation will catch us up *)
-  | Some inst ->
-    let latency = t.rt.latency_to src in
-    let s =
-      { summary with
-        Summary.age = summary.Summary.age +. latency;
-        Summary.hops = summary.Summary.hops + 1;
-        Summary.hops_max = summary.Summary.hops_max + 1
-      }
-    in
-    let s = relabel_for_mode t inst s in
-    (* netDist (§4.3): an EWMA (alpha = 10 %, the paper's footnote) of the
-       maximum received age, folded per slide period. On its own a
-       max-based estimate diverges under dynamic striping — sibling trees
-       can make two nodes each other's parents, so each would wait for the
-       other's waits — but the headroom cap on eviction deadlines bounds
-       every age in the system, which bounds this estimate too. In
-       timestamp mode the age is the timestamp-inferred delay, so offset
-       inflates the estimate and with it every wait. *)
-    if s.Summary.age > inst.age_max_period then inst.age_max_period <- s.Summary.age;
-    if inst.meta.Query.aggregate = false && t.rt.self <> inst.meta.Query.root then begin
-      (* No-aggregation baseline: pass everything through. *)
-      let visited =
-        Routing.update_visited visited ~tree ~level:inst.view.Query.levels.(tree)
-      in
-      route_and_send t inst s ~path ~visited ~arrival_tree:tree ~ttl_down ()
-    end
-    else if already_emitted t inst s then begin
-      (* Late tuple: pass through toward the root without merging. *)
-      t.n_late <- t.n_late + 1;
-      if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.late";
-      if t.rt.self = inst.meta.Query.root then () (* window already reported *)
-      else begin
-        let visited =
-          Routing.update_visited visited ~tree ~level:inst.view.Query.levels.(tree)
+(* Adopt a live donor on every tree whose parent is dead. Donor order is
+   canonical ({!Mortar_overlay.Sibling.repair_donors}) and the adopted
+   partner's liveness window starts now, so a dead donor is probed for one
+   failure-detection timeout and then the next candidate is tried —
+   convergence is sequential probing, not flooding. Levels are left
+   untouched: they only steer the staged routing heuristic, and keeping
+   the original labels preserves the visited-level monotonicity argument
+   (a relabel could re-admit a tree the tuple already descended in). *)
+let attempt_reparent t name inst =
+  let view = inst.view in
+  let d = Array.length view.Query.parents in
+  if Array.length view.Query.grands = d then begin
+    let before = Query.neighbors view in
+    let changed = ref [] in
+    for x = 0 to d - 1 do
+      match view.Query.parents.(x) with
+      | None -> ()
+      | Some old when alive_neighbor t old -> ()
+      | Some old -> (
+        let donors =
+          Mortar_overlay.Sibling.repair_donors ~self:t.rt.self ~grand:view.Query.grands.(x)
+            ~siblings:view.Query.sibs.(x)
         in
-        route_and_send t inst s ~path ~visited ~arrival_tree:tree ~ttl_down ()
+        match List.find_opt (fun (c, _) -> c <> old && alive_neighbor t c) donors with
+        | None -> ()
+        | Some (c, kind) ->
+          view.Query.parents.(x) <- Some c;
+          changed := (x, old, c, kind) :: !changed)
+    done;
+    match List.rev !changed with
+    | [] -> ()
+    | edges ->
+      update_partner_refs t ~before ~after:(Query.neighbors view);
+      t.n_reparent_edges <- t.n_reparent_edges + List.length edges;
+      List.iter
+        (fun (x, old, c, kind) ->
+          (* The donor must learn it has a new child: that restores the
+             heartbeat symmetry the liveness judgment depends on, and
+             downward (flex-down) reachability into our subtree. *)
+          send_ctl t ~dst:c
+            (Msg.Adopt { query = name; seqno = inst.meta.Query.seqno; tree = x });
+          if !Obs.enabled then begin
+            Obs.incr ~scope:(Obs.Node t.rt.self) "peer.reparent_edges";
+            Obs.trace ~t:(now_local t)
+              (Obs.Reparent
+                 {
+                   node = t.rt.self;
+                   query = name;
+                   tree = x;
+                   from_parent = old;
+                   to_parent = c;
+                   donor = (match kind with `Grand -> "grand" | `Sib -> "sibling");
+                 })
+          end)
+        edges
+  end
+
+let repair_instance t name inst =
+  let parents = inst.view.Query.parents in
+  let is_root = Array.for_all (fun p -> p = None) parents in
+  if not is_root then begin
+    let local = now_local t in
+    let orphaned =
+      Array.for_all (function None -> true | Some p -> not (alive_neighbor t p)) parents
+    in
+    let confirmed_parent =
+      Array.exists (function None -> false | Some p -> confirmed_alive t p) parents
+    in
+    match inst.orphaned_since with
+    | None when orphaned ->
+      inst.orphaned_since <- Some local;
+      if !Obs.enabled then begin
+        Obs.set_gauge ~scope:(Obs.Node t.rt.self) "peer.blackholed" 1.0;
+        Obs.trace ~t:local (Obs.Orphaned { node = t.rt.self; query = name })
+      end;
+      attempt_reparent t name inst
+    | Some _ when orphaned -> attempt_reparent t name inst
+    | Some since when confirmed_parent ->
+      (* A repaired (or recovered) parent has actually been heard from:
+         the blackhole is closed. MTTR runs from first detection to this
+         confirmation, not to the optimistic adoption. *)
+      inst.orphaned_since <- None;
+      t.n_repairs <- t.n_repairs + 1;
+      if !Obs.enabled then begin
+        Obs.incr ~scope:(Obs.Node t.rt.self) "peer.repairs";
+        Obs.set_gauge ~scope:(Obs.Node t.rt.self) "peer.blackholed" 0.0;
+        Obs.observe ~buckets:mttr_buckets "peer.repair_mttr" (local -. since)
       end
-    end
-    else ts_insert t inst s
+    | _ -> ()
+  end
+
+(* Sweep state that only grows during long churn runs: heartbeat-partner
+   entries whose refcount dropped to zero (created by unsolicited
+   heartbeats or released by repair/remove) once they have been silent for
+   several failure-detection timeouts, and request-gate entries whose
+   replies will never come. Removal is pure table maintenance — no sends,
+   no RNG draws — and iteration collects into a sorted list first (D3). *)
+let sweep_idle t =
+  let local = now_local t in
+  let horizon = 4.0 *. t.cfg.hb_timeout_factor *. t.cfg.hb_period in
+  let stale =
+    Hashtbl.fold
+      (fun n p acc ->
+        if p.refcount <= 0 && local -. p.last_heard > horizon then n :: acc else acc)
+      t.partners []
+    |> List.sort compare
+  in
+  List.iter (Hashtbl.remove t.partners) stale;
+  (match stale with
+  | [] -> ()
+  | l ->
+    t.n_partners_swept <- t.n_partners_swept + List.length l;
+    if !Obs.enabled then
+      Obs.incr ~scope:(Obs.Node t.rt.self) ~by:(List.length l) "peer.partners_swept");
+  let sweep_gate tbl =
+    Hashtbl.fold (fun k at acc -> if local -. at > horizon then k :: acc else acc) tbl []
+    |> List.sort compare
+    |> List.iter (Hashtbl.remove tbl)
+  in
+  sweep_gate t.pending_views;
+  sweep_gate t.fast_resync
 
 (* ------------------------------------------------------------------ *)
 (* Heartbeats.                                                         *)
@@ -990,6 +1279,13 @@ let rec heartbeat_tick t =
   let with_digest = t.hb_counter mod t.cfg.reconcile_every = 0 in
   let d = if with_digest then Some (digest t) else None in
   List.iter (fun dst -> send_msg t ~dst (Msg.Heartbeat { digest = d })) (heartbeat_targets t);
+  if t.cfg.self_heal then
+    (* Sorted instance order: repair decisions send messages, so the order
+       across instances is simulation-visible (D3). *)
+    Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) t.instances []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (name, inst) -> repair_instance t name inst);
+  sweep_idle t;
   t.hb_timer <- Some (t.rt.set_timer ~after:t.cfg.hb_period (fun () -> heartbeat_tick t))
 
 (* ------------------------------------------------------------------ *)
@@ -1037,7 +1333,7 @@ let rec receive t ~src payload =
     | Some (meta, treeset) ->
       let view =
         if Mortar_overlay.Tree.mem (Mortar_overlay.Treeset.tree treeset 0) src then
-          Some (Query.view_of_treeset treeset src)
+          Some (Query.view_of_treeset ~repair_meta:t.cfg.self_heal treeset src)
         else None
       in
       send_ctl t ~dst:src (Msg.View_reply { meta; view; age = 0.0 }))
@@ -1045,7 +1341,26 @@ let rec receive t ~src payload =
     Hashtbl.remove t.pending_views meta.Query.name;
     match view with
     | Some v -> install_local t meta v ~install_age:(age +. t.rt.latency_to src)
-    | None -> Hashtbl.replace t.not_mine meta.Query.name meta.Query.seqno)
+    | None ->
+      Hashtbl.replace t.not_mine meta.Query.name meta.Query.seqno;
+      drop_warmup t meta.Query.name)
+  | Msg.Adopt { query; seqno; tree } -> (
+    (* A repairing orphan re-parented onto us: record it as a child so we
+       heartbeat it and can descend into its subtree. Idempotent; ignored
+       when the topology generations differ. *)
+    match Hashtbl.find_opt t.instances query with
+    | Some inst
+      when inst.meta.Query.seqno = seqno
+           && tree >= 0
+           && tree < Array.length inst.view.Query.children ->
+      let kids = inst.view.Query.children.(tree) in
+      if not (List.mem src kids) then begin
+        let before = Query.neighbors inst.view in
+        inst.view.Query.children.(tree) <- List.sort compare (src :: kids);
+        update_partner_refs t ~before ~after:(Query.neighbors inst.view);
+        if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.adoptions"
+      end
+    | _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Construction and introspection.                                     *)
@@ -1061,6 +1376,9 @@ let create ?(config = default_config) rt =
       partners = Hashtbl.create 32;
       plans = Hashtbl.create 4;
       pending_views = Hashtbl.create 8;
+      warmup = Hashtbl.create 8;
+      fast_resync = Hashtbl.create 8;
+      warmup_len = 0;
       ctl_pending = Hashtbl.create 16;
       seen_ctl = Hashtbl.create 64;
       seen_ctl_order = Queue.create ();
@@ -1085,6 +1403,12 @@ let create ?(config = default_config) rt =
       n_ctl_acked = 0;
       n_ctl_retx = 0;
       n_ctl_abandoned = 0;
+      n_repairs = 0;
+      n_reparent_edges = 0;
+      n_warmup_buffered = 0;
+      n_warmup_replayed = 0;
+      n_warmup_dropped = 0;
+      n_partners_swept = 0;
     }
   in
   (* Desynchronise heartbeat phases across peers. *)
@@ -1114,6 +1438,11 @@ let crash t =
   Hashtbl.reset t.partners;
   Hashtbl.reset t.plans;
   Hashtbl.reset t.pending_views;
+  Hashtbl.reset t.warmup;
+  Hashtbl.reset t.fast_resync;
+  t.warmup_len <- 0;
+  if t.cfg.self_heal && !Obs.enabled then
+    Obs.set_gauge ~scope:(Obs.Node t.rt.self) "peer.blackholed" 0.0;
   Hashtbl.iter
     (fun _ p -> match p.ctl_timer with Some h -> h.cancel () | None -> ())
     t.ctl_pending;
@@ -1137,6 +1466,12 @@ let stats t =
     ctl_acked = t.n_ctl_acked;
     ctl_retransmits = t.n_ctl_retx;
     ctl_abandoned = t.n_ctl_abandoned;
+    repairs = t.n_repairs;
+    reparent_edges = t.n_reparent_edges;
+    warmup_buffered = t.n_warmup_buffered;
+    warmup_replayed = t.n_warmup_replayed;
+    warmup_dropped = t.n_warmup_dropped;
+    partners_swept = t.n_partners_swept;
   }
 
 let netdist t ~query =
@@ -1146,3 +1481,14 @@ let ts_length t ~query =
   Option.map (fun inst -> Ts_list.length inst.ts) (Hashtbl.find_opt t.instances query)
 
 let ctl_in_flight t = Hashtbl.length t.ctl_pending
+
+let current_parents t ~query =
+  Option.map
+    (fun inst -> Array.copy inst.view.Query.parents)
+    (Hashtbl.find_opt t.instances query)
+
+let orphaned_for t ~query =
+  Option.bind (Hashtbl.find_opt t.instances query) (fun inst ->
+      Option.map (fun since -> now_local t -. since) inst.orphaned_since)
+
+let partner_count t = Hashtbl.length t.partners

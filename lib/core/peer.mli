@@ -74,6 +74,20 @@ type config = {
   ctl_jitter : float;
       (** Uniform fraction added to each RTO so retry bursts
           desynchronise across peers. *)
+  self_heal : bool;
+      (** Enables the self-healing data plane (DESIGN.md "Self-healing &
+          recovery"): installs ship repair metadata (grandparent + sibling
+          ids per tree), a peer whose union parents are all dead
+          deterministically re-parents onto a live donor, and summaries
+          for an uninstalled query trigger an immediate resync and are
+          buffered for warm-up replay instead of being dropped. Off by
+          default — repair mutates views and widens installs, which would
+          shift every seeded figure. *)
+  warmup_buffer : int;
+      (** Per-query cap on summaries buffered while a query is awaiting
+          (re)install. [0] (default) disables buffering: warm-up arrivals
+          are counted as drops but still trigger the fast resync when
+          [self_heal] is on. *)
 }
 
 val default_config : config
@@ -108,6 +122,14 @@ type stats = {
   ctl_abandoned : int;
       (** Control messages whose retry budget ran out; reconciliation is
           left to repair the destination. *)
+  repairs : int;
+      (** Orphanings closed by a confirmed-live (repaired or recovered)
+          parent. *)
+  reparent_edges : int; (** Individual per-tree adoption decisions. *)
+  warmup_buffered : int; (** Summaries held for replay during warm-up. *)
+  warmup_replayed : int; (** Buffered summaries re-entered after install. *)
+  warmup_dropped : int; (** Warm-up arrivals lost (no or full buffer). *)
+  partners_swept : int; (** Idle zero-refcount partner entries reclaimed. *)
 }
 
 type t
@@ -174,6 +196,19 @@ val ctl_in_flight : t -> int
 
 val alive_neighbor : t -> int -> bool
 (** Liveness belief from heartbeats (true for unknown nodes). *)
+
+val current_parents : t -> query:string -> int option array option
+(** The instance's {e current} per-tree parents — the static plan's, as
+    mutated by any repair adoptions. For the soak harness's ground-truth
+    reachability check. *)
+
+val orphaned_for : t -> query:string -> float option
+(** How long (local seconds) the failure detector has considered this
+    query's instance blackholed — every union parent dead and no repaired
+    parent confirmed yet. [None] when not orphaned or not installed. *)
+
+val partner_count : t -> int
+(** Heartbeat-partner table size (sweep diagnostics). *)
 
 val digest : t -> string
 (** Current MD5 digest over installed and removed query state (§6.1). *)

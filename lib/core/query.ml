@@ -45,19 +45,28 @@ type node_view = {
   children : int list array;
   levels : int array;
   heights : int array;
+  grands : int option array;
+  sibs : int list array;
 }
 
-let view_of_treeset ts node =
+let view_of_treeset ?(repair_meta = false) ts node =
   let d = Treeset.degree ts in
   {
     parents = Array.init d (fun i -> Treeset.parent ts ~tree:i node);
     children = Array.init d (fun i -> Treeset.children ts ~tree:i node);
     levels = Array.init d (fun i -> Treeset.level ts ~tree:i node);
     heights = Array.init d (fun i -> Tree.height (Treeset.tree ts i));
+    grands =
+      (if repair_meta then Array.init d (fun i -> Treeset.grandparent ts ~tree:i node)
+       else [||]);
+    sibs =
+      (if repair_meta then Array.init d (fun i -> Treeset.siblings ts ~tree:i node)
+       else [||]);
   }
 
-let views_of_treeset ts =
-  Array.to_list (Treeset.nodes ts) |> List.map (fun n -> (n, view_of_treeset ts n))
+let views_of_treeset ?repair_meta ts =
+  Array.to_list (Treeset.nodes ts)
+  |> List.map (fun n -> (n, view_of_treeset ?repair_meta ts n))
 
 let neighbors view =
   let seen = Hashtbl.create 16 in
@@ -76,7 +85,7 @@ type chunk = {
   edges : (int * int) list;
 }
 
-let chunk_plan ts ~chunks =
+let chunk_plan ?repair_meta ts ~chunks =
   assert (chunks >= 1);
   let primary = Treeset.tree ts 0 in
   (* BFS order keeps components contiguous, so most forwarding edges are
@@ -109,7 +118,8 @@ let chunk_plan ts ~chunks =
              end)
     in
     let members =
-      Array.to_list members_arr |> List.map (fun m -> (m, view_of_treeset ts m))
+      Array.to_list members_arr
+      |> List.map (fun m -> (m, view_of_treeset ?repair_meta ts m))
     in
     { entry; members; edges }
   in
@@ -133,7 +143,13 @@ let meta_wire_size meta =
 
 let view_wire_size view =
   let children = Array.fold_left (fun acc l -> acc + List.length l) 0 view.children in
-  (Array.length view.parents * 14) + (children * 4)
+  let repair =
+    (* Only paid when repair metadata is shipped: one optional id per tree
+       plus the sibling id lists. *)
+    let sibs = Array.fold_left (fun acc l -> acc + List.length l) 0 view.sibs in
+    (Array.length view.grands * 6) + (sibs * 4)
+  in
+  (Array.length view.parents * 14) + (children * 4) + repair
 
 let pp_meta ppf meta =
   Format.fprintf ppf "query %s#%d: %a over %s window %a mode %s root %d D=%d" meta.name

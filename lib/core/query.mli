@@ -69,11 +69,23 @@ type node_view = {
                             "headroom" [height - level] bounds the depth of
                             any subtree that can aggregate through it, and
                             scales its eviction-time budget. *)
+  grands : int option array;
+      (** Per tree: the grandparent, when repair metadata was requested at
+          install time — the first donor a peer falls back to when every
+          union parent is dead. Empty ([[||]]) otherwise. *)
+  sibs : int list array;
+      (** Per tree: the other children of this node's parent (canonical
+          ascending order) — the second donor class for repair. Empty when
+          repair metadata was not requested. *)
 }
 
-val view_of_treeset : Mortar_overlay.Treeset.t -> int -> node_view
+val view_of_treeset : ?repair_meta:bool -> Mortar_overlay.Treeset.t -> int -> node_view
+(** [repair_meta] (default [false]) additionally records each tree's
+    grandparent and sibling set, enabling failure-driven tree repair at the
+    cost of shipping the extra ids in the install ({!view_wire_size}). *)
 
-val views_of_treeset : Mortar_overlay.Treeset.t -> (int * node_view) list
+val views_of_treeset :
+  ?repair_meta:bool -> Mortar_overlay.Treeset.t -> (int * node_view) list
 (** A view for every member node. *)
 
 val neighbors : node_view -> int list
@@ -88,7 +100,8 @@ type chunk = {
                                 used to forward the install. *)
 }
 
-val chunk_plan : Mortar_overlay.Treeset.t -> chunks:int -> chunk list
+val chunk_plan :
+  ?repair_meta:bool -> Mortar_overlay.Treeset.t -> chunks:int -> chunk list
 (** Split the primary tree into roughly equal components by contiguous
     BFS-order segments; each chunk is delivered in parallel (§6, §7.1 uses
     16 chunks). Every member appears in exactly one chunk. *)

@@ -163,6 +163,7 @@ let crash_window t ~node ~at:down_at ~recover_at =
   at t down_at (fun () -> set_up t node false);
   at t recover_at (fun () ->
       Peer.crash t.peers.(node);
+      Transport.clear_seen t.transport ~dst:node;
       set_up t node true)
 
 let schedule_fault t = function
@@ -197,10 +198,85 @@ let schedule_fault t = function
             Array.iter
               (fun v ->
                 Peer.crash t.peers.(v);
+                Transport.clear_seen t.transport ~dst:v;
                 set_up t v true)
               victims))
 
 let schedule_faults t events = List.iter (schedule_fault t) events
+
+(* A composed chaos schedule for soak runs: steady background churn
+   (independent crash/recover pairs), periodic Gilbert-Elliott loss
+   windows on a random stub's uplink, and periodic correlated kills of a
+   random fraction of one stub. Everything is drawn up front from the
+   caller's [rng] — the deployment RNG is untouched, so attaching the
+   schedule never perturbs planning or sensor phases — and the returned
+   list is a plain value the caller can inspect, replay or log. *)
+let composed_churn t ~rng ~from ~until ?(protect = []) ?(churn_period = 12.0)
+    ?(churn_kills = 2) ?(down_min = 6.0) ?(down_max = 16.0) ?(burst_period = 45.0)
+    ?(burst_len = 12.0) ?(kill_period = 70.0) ?(kill_fraction = 0.4) ?(kill_len = 12.0) () =
+  let pool =
+    List.filter (fun h -> not (List.mem h protect)) (all_hosts t) |> Array.of_list
+  in
+  if Array.length pool = 0 then []
+  else begin
+    let stubs =
+      List.sort_uniq compare (List.map (fun h -> Topology.stub_of t.topo h) (all_hosts t))
+    in
+    (* Correlated kills draw victims blindly at fire time, so only stubs
+       containing no protected host (e.g. the query root) are eligible. *)
+    let kill_stubs =
+      List.filter
+        (fun s -> not (List.exists (fun p -> Topology.stub_of t.topo p = s) protect))
+        stubs
+      |> Array.of_list
+    in
+    let stubs = Array.of_list stubs in
+    let events = ref [] in
+    let push e = events := e :: !events in
+    let tm = ref (from +. churn_period) in
+    while !tm < until do
+      for _ = 1 to churn_kills do
+        let v = pool.(Rng.int rng (Array.length pool)) in
+        let dur = Rng.uniform rng down_min down_max in
+        push (Crash_recover { node = v; at = !tm; recover_at = min until (!tm +. dur) })
+      done;
+      tm := !tm +. churn_period
+    done;
+    if Array.length stubs > 0 then begin
+      let tm = ref (from +. burst_period) in
+      while !tm < until do
+        let src = stub_hosts t (Rng.pick rng stubs) in
+        push
+          (Bursty_loss
+             {
+               src;
+               dst = complement t src;
+               p_enter = 0.15;
+               p_exit = 0.25;
+               loss_bad = 0.7;
+               loss_good = 0.01;
+               from = !tm;
+               until = min until (!tm +. burst_len);
+             });
+        tm := !tm +. burst_period
+      done
+    end;
+    if Array.length kill_stubs > 0 then begin
+      let tm = ref (from +. kill_period) in
+      while !tm < until do
+        push
+          (Correlated_crash
+             {
+               stub = Rng.pick rng kill_stubs;
+               fraction = kill_fraction;
+               at = !tm;
+               recover_at = min until (!tm +. kill_len);
+             });
+        tm := !tm +. kill_period
+      done
+    end;
+    List.rev !events
+  end
 
 let converge_coordinates t ?(rounds = 12) ?(samples = 8) () =
   let system = Mortar_coords.Vivaldi.create t.topo ~rng:(Rng.split t.rng) () in

@@ -118,6 +118,36 @@ val schedule_faults : t -> fault_event list -> unit
 (** Install a scenario. May be called before or during a run; events in
     the past fire immediately. *)
 
+val composed_churn :
+  t ->
+  rng:Mortar_util.Rng.t ->
+  from:float ->
+  until:float ->
+  ?protect:int list ->
+  ?churn_period:float ->
+  ?churn_kills:int ->
+  ?down_min:float ->
+  ?down_max:float ->
+  ?burst_period:float ->
+  ?burst_len:float ->
+  ?kill_period:float ->
+  ?kill_fraction:float ->
+  ?kill_len:float ->
+  unit ->
+  fault_event list
+(** Generate (but do not install) a composed chaos schedule on
+    [\[from, until)]: every [churn_period] seconds, [churn_kills] uniform
+    hosts crash and recover after uniform [\[down_min, down_max)] seconds;
+    every [burst_period] seconds a random stub's uplink suffers
+    [burst_len] seconds of Gilbert-Elliott bursty loss; every
+    [kill_period] seconds a correlated crash takes out [kill_fraction] of
+    a random stub for [kill_len] seconds. All recoveries are clamped to
+    [until]. Hosts in [protect] are never crashed (stubs containing them
+    are exempt from correlated kills). Draws come from [rng] only, so the
+    schedule is a pure function of [(topology, rng, parameters)] — the
+    deployment RNG streams are untouched. Pass the result to
+    {!schedule_faults}. *)
+
 (** {1 Planning} *)
 
 val converge_coordinates : t -> ?rounds:int -> ?samples:int -> unit -> unit

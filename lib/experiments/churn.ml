@@ -4,7 +4,10 @@
    Phase 1 — a whole stub domain loses its transit uplink mid-run and
    heals later. Completeness at the root should drop by roughly the
    partitioned fraction while the cut is active and recover after the
-   heal.
+   heal. The phase runs once per seed in {73, 74, 75} (fresh topology,
+   plan and fault draw each) and reports the pooled mean per interval —
+   the same 3-seed pooling convention the integration tests use — so a
+   single lucky plan cannot carry the claim.
 
    Phase 2 — a correlated crash: half of another stub's hosts die at
    once, recover with total state loss, and are re-installed by
@@ -14,16 +17,19 @@
    completeness (fraction of planned peers that actually host the query)
    under 20% uniform message loss, with reconciliation disabled so only
    install-time retries can help — the paper's fire-and-forget install
-   leaves subtrees dark, the retry/backoff plane does not. *)
+   leaves subtrees dark, the retry/backoff plane does not. The
+   "abandoned" column surfaces how many control messages exhausted their
+   retry budget along the way. *)
 
 module D = Mortar_emul.Deployment
 module Peer = Mortar_core.Peer
 module Query = Mortar_core.Query
 module Window = Mortar_core.Window
 
-let partition_phase ~quick =
-  let hosts = if quick then 120 else 480 in
-  let h = Harness.create ~seed:73 ~hosts ~transits:4 ~stubs:8 ~bf:8 () in
+let seeds = [ 73; 74; 75 ]
+
+let partition_run ~seed ~hosts =
+  let h = Harness.create ~seed ~hosts ~transits:4 ~stubs:8 ~bf:8 () in
   let d = Harness.deployment h in
   let topo = D.topology d
   and root = 0 in
@@ -38,26 +44,39 @@ let partition_phase ~quick =
     ];
   Harness.run_until h 95.0;
   let mean t0 t1 = Harness.mean_completeness h t0 t1 ~denominator:hosts in
-  let reachable = float_of_int (hosts - cut_size) /. float_of_int hosts in
+  (mean, float_of_int (hosts - cut_size) /. float_of_int hosts)
+
+let partition_phase ~quick =
+  let hosts = if quick then 120 else 480 in
+  let runs = List.map (fun seed -> partition_run ~seed ~hosts) seeds in
+  let pooled t0 t1 =
+    Mortar_util.Stats.mean (Array.of_list (List.map (fun (m, _) -> m t0 t1) runs))
+  in
+  let reachable =
+    Mortar_util.Stats.mean (Array.of_list (List.map (fun (_, r) -> r) runs))
+  in
+  Printf.printf "pooled over seeds {%s} (mean of per-seed means):\n"
+    (String.concat "," (List.map string_of_int seeds));
   Common.table
     ~columns:[ "phase"; "interval"; "completeness"; "expected" ]
     (fun () ->
       [
-        [ "steady"; "[15,25)"; Common.cell_pct (mean 15.0 25.0); Common.cell_pct 1.0 ];
+        [ "steady"; "[15,25)"; Common.cell_pct (pooled 15.0 25.0); Common.cell_pct 1.0 ];
         [
           "stub partitioned";
           "[30,45)";
-          Common.cell_pct (mean 30.0 45.0);
+          Common.cell_pct (pooled 30.0 45.0);
           Common.cell_pct reachable;
         ];
-        [ "healed"; "[50,60)"; Common.cell_pct (mean 50.0 60.0); Common.cell_pct 1.0 ];
-        [ "correlated crash"; "[62,70)"; Common.cell_pct (mean 62.0 70.0); "<100.0%" ];
-        [ "recovered"; "[80,95)"; Common.cell_pct (mean 80.0 95.0); Common.cell_pct 1.0 ];
+        [ "healed"; "[50,60)"; Common.cell_pct (pooled 50.0 60.0); Common.cell_pct 1.0 ];
+        [ "correlated crash"; "[62,70)"; Common.cell_pct (pooled 62.0 70.0); "<100.0%" ];
+        [ "recovered"; "[80,95)"; Common.cell_pct (pooled 80.0 95.0); Common.cell_pct 1.0 ];
       ])
 
 (* Fraction of planned peers hosting the query after an install multicast
    under uniform loss, with reconciliation effectively disabled (huge
-   heartbeat period) so retries are the only repair mechanism. *)
+   heartbeat period) so retries are the only repair mechanism. Also
+   returns how many control messages ran out their retry budget. *)
 let install_completeness ~hosts ~loss ~retries =
   let rng = Mortar_util.Rng.create 911 in
   let topo = Mortar_net.Topology.transit_stub rng ~transits:4 ~stubs:8 ~hosts () in
@@ -72,22 +91,28 @@ let install_completeness ~hosts ~loss ~retries =
   in
   D.at d 1.0 (fun () -> Peer.install_query (D.peer d 0) meta treeset);
   D.run_until d 40.0;
-  let installed = ref 0 in
+  let installed = ref 0
+  and abandoned = ref 0 in
   for i = 0 to hosts - 1 do
-    if Peer.has_query (D.peer d i) "q" then incr installed
+    if Peer.has_query (D.peer d i) "q" then incr installed;
+    abandoned := !abandoned + (Peer.stats (D.peer d i)).Peer.ctl_abandoned
   done;
-  float_of_int !installed /. float_of_int hosts
+  (float_of_int !installed /. float_of_int hosts, !abandoned)
 
 let retry_phase ~quick =
   let hosts = if quick then 96 else 240 in
+  let ff, ff_abandoned = install_completeness ~hosts ~loss:0.2 ~retries:0 in
+  let rb, rb_abandoned = install_completeness ~hosts ~loss:0.2 ~retries:4 in
   Printf.printf "\ninstall completeness under 20%% loss, reconciliation off:\n";
   Common.table
-    ~columns:[ "control plane"; "installed" ]
+    ~columns:[ "control plane"; "installed"; "abandoned" ]
     (fun () ->
       [
-        [ "fire-and-forget (paper)"; Common.cell_pct (install_completeness ~hosts ~loss:0.2 ~retries:0) ];
-        [ "retry/backoff (4 retries)"; Common.cell_pct (install_completeness ~hosts ~loss:0.2 ~retries:4) ];
-      ])
+        [ "fire-and-forget (paper)"; Common.cell_pct ff; string_of_int ff_abandoned ];
+        [ "retry/backoff (4 retries)"; Common.cell_pct rb; string_of_int rb_abandoned ];
+      ]);
+  Printf.printf "retry budget exhausted: fire-and-forget=%d retry/backoff=%d\n" ff_abandoned
+    rb_abandoned
 
 let run ~quick =
   partition_phase ~quick;

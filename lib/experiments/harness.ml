@@ -114,6 +114,63 @@ let fail_fraction t fraction = D.fail_random t.d ~fraction ~protect:[ 0 ] ()
 
 let reconnect t victims = List.iter (fun v -> D.set_up t.d v true) victims
 
+(* Ground truth over the *current* per-tree parents (the static plan's,
+   as mutated by self-healing adoptions): a live installed host can get
+   summaries to the root iff the union graph of its current parent edges
+   — restricted to live *installed* hosts, since an uninstalled peer
+   buffers or drops foreign summaries rather than forwarding them —
+   connects it to node 0. Mirrors [union_bound]'s union-reachability
+   semantics, but over the repaired topology instead of the static one. *)
+let repaired_unreachable t =
+  let n = D.hosts t.d in
+  let up = Array.make n false in
+  List.iter (fun h -> up.(h) <- true) (D.up_hosts t.d);
+  let parents = Array.make n None in
+  let forwards = Array.make n false in
+  for h = 0 to n - 1 do
+    if up.(h) then begin
+      parents.(h) <- Peer.current_parents (D.peer t.d h) ~query:query_name;
+      forwards.(h) <- parents.(h) <> None
+    end
+  done;
+  let children = Array.make n [] in
+  for h = 0 to n - 1 do
+    match parents.(h) with
+    | None -> ()
+    | Some ps ->
+      Array.iter
+        (function
+          | Some p when forwards.(p) -> children.(p) <- h :: children.(p)
+          | _ -> ())
+        ps
+  done;
+  let reach = Array.make n false in
+  if forwards.(0) then begin
+    reach.(0) <- true;
+    let q = Queue.create () in
+    Queue.push 0 q;
+    while not (Queue.is_empty q) do
+      let p = Queue.pop q in
+      List.iter
+        (fun c ->
+          if not reach.(c) then begin
+            reach.(c) <- true;
+            Queue.push c q
+          end)
+        children.(p)
+    done
+  end;
+  let missing = ref [] in
+  for h = n - 1 downto 1 do
+    if forwards.(h) && not reach.(h) then missing := h :: !missing
+  done;
+  !missing
+
+let uninstalled_live_hosts t =
+  List.filter
+    (fun h -> h <> 0 && not (Peer.has_query (D.peer t.d h) query_name))
+    (D.up_hosts t.d)
+
 let bytes_between series t0 t1 =
   match series with
   | None -> 0.0

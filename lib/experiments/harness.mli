@@ -77,6 +77,17 @@ val fail_fraction : t -> float -> int list
 
 val reconnect : t -> int list -> unit
 
+val repaired_unreachable : t -> int list
+(** Live installed hosts (sorted) with no union path of {e current}
+    (repair-mutated) parent edges — over live installed hosts only — to
+    the root: the set the self-healing invariants require to drain to
+    empty within the MTTR bound. The static-plan analogue is
+    {!union_bound}. *)
+
+val uninstalled_live_hosts : t -> int list
+(** Live non-root hosts (sorted) that do not have the query installed —
+    crash-rejoiners still waiting on reconciliation or fast resync. *)
+
 val data_mbps : t -> float -> float -> float
 (** Mean total network load (megabits per second across all links) between
     two sim times, all traffic kinds. *)

@@ -16,5 +16,6 @@ let ensure () =
     Fig17.register ();
     Fig18.register ();
     Ablations.register ();
-    Churn.register ()
+    Churn.register ();
+    Soak.register ()
   end

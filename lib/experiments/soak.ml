@@ -1,0 +1,270 @@
+(* Chaos soak (beyond the paper's figures): the self-healing gate.
+
+   One composed fault schedule — steady background crash/recover churn,
+   Gilbert-Elliott loss bursts on stub uplinks, and periodic correlated
+   kills of most of a stub — runs against two otherwise identical
+   deployments: the paper's static data plane (repair off) and the
+   self-healing one (repair on: failure-driven re-parenting, crash-rejoin
+   fast resync, warm-up buffering). The soak uses two trees rather than
+   the default four: with four, the union graph almost never disconnects
+   and both rows ride out the schedule on redundancy alone; two trees is
+   where the static plan actually blackholes hosts and repair has to do
+   the work.
+
+   Completeness here is *true* completeness in the fig 9/10 sense: for
+   each true sensor window, the largest fraction of its tuples that
+   landed together in one reported result. Reported-window completeness
+   is useless under crash-rejoin (a reinstalled peer can misfile a window
+   boundary, merging two true windows into one >100% report).
+
+   Machine-checked invariants:
+
+   - blackhole: no live installed host may stay disconnected from the
+     root (union reachability over *current*, repair-mutated parents,
+     sampled every epoch) longer than the MTTR bound;
+   - rejoin: no host continuously up longer than the rejoin bound may
+     still lack the query;
+   - floor: per-epoch true completeness under chaos must stay above a
+     floor;
+   - steady: post-settle true completeness must return to >= 95%;
+   - monotone: once the chaos window closes, the set of live-but-
+     uninstalled hosts may only drain (reconciliation makes progress);
+   - overcount: summing each true window's provenance across *all*
+     results must never exceed the host count — repair and warm-up
+     replay must stay duplicate-safe under time-division indexing.
+
+   The repair-on row is the gate (CI greps the "invariant violations:"
+   line); the repair-off row is the control that shows the damage the
+   schedule does to the static plan. *)
+
+module D = Mortar_emul.Deployment
+module Peer = Mortar_core.Peer
+
+type outcome = {
+  warm_compl : float;
+  chaos_compl : float;
+  settle_compl : float;
+  mttr_max : float; (* worst observed unreachability episode, seconds *)
+  mttr_n : int; (* resolved episodes *)
+  blackhole : int;
+  rejoin : int;
+  floor_viol : int;
+  steady_viol : int;
+  monotone_viol : int;
+  overcount : int;
+}
+
+let violations o =
+  o.blackhole + o.rejoin + o.floor_viol + o.steady_viol + o.monotone_viol + o.overcount
+
+(* Track open "bad state" episodes per host across epoch samples: record
+   first sighting, count a violation once per episode when it outlives
+   [bound], and report closed episodes' durations to [on_resolved]. *)
+let episodes () = (Hashtbl.create 32, Hashtbl.create 8)
+
+let update_episodes (since, flagged) ~now ~bound ~viol ~on_resolved current =
+  let cur = Hashtbl.create (List.length current) in
+  List.iter (fun h -> Hashtbl.replace cur h ()) current;
+  let closed =
+    Hashtbl.fold
+      (fun h t0 acc -> if Hashtbl.mem cur h then acc else (h, t0) :: acc)
+      since []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (h, t0) ->
+      Hashtbl.remove since h;
+      Hashtbl.remove flagged h;
+      on_resolved (now -. t0))
+    closed;
+  List.iter
+    (fun h ->
+      match Hashtbl.find_opt since h with
+      | None -> Hashtbl.replace since h now
+      | Some t0 ->
+        if now -. t0 > bound && not (Hashtbl.mem flagged h) then begin
+          Hashtbl.replace flagged h ();
+          incr viol
+        end)
+    current
+
+let soak_row ~quick ~self_heal =
+  let hosts = if quick then 120 else 360 in
+  let chaos_from = 20.0 in
+  let chaos_until = if quick then 80.0 else 140.0 in
+  let settle_until = chaos_until +. 30.0 in
+  let epoch = 5.0 in
+  let mttr_bound = 20.0 in
+  let rejoin_bound = 45.0 in
+  let floor = 0.5 in
+  let config =
+    if self_heal then
+      { Peer.default_config with Peer.self_heal = true; warmup_buffer = 32; ctl_retries = 2 }
+    else Peer.default_config
+  in
+  let h =
+    Harness.create ~seed:101 ~hosts ~transits:4 ~stubs:8 ~bf:8 ~degree:2
+      ~track_provenance:true ~config ()
+  in
+  let d = Harness.deployment h in
+  let schedule =
+    D.composed_churn d
+      ~rng:(Mortar_util.Rng.create 404)
+      ~from:chaos_from ~until:chaos_until ~protect:[ 0 ] ~churn_period:12.0 ~churn_kills:2
+      ~down_min:8.0 ~down_max:20.0 ~burst_period:45.0 ~burst_len:12.0 ~kill_period:30.0
+      ~kill_fraction:0.8 ~kill_len:25.0 ()
+  in
+  D.schedule_faults d schedule;
+  let blackhole = ref 0
+  and rejoin = ref 0
+  and monotone_viol = ref 0 in
+  let mttr_max = ref 0.0
+  and mttr_n = ref 0 in
+  let unreach = episodes ()
+  and uninst = episodes () in
+  let prev_uninstalled = ref max_int in
+  let tick now =
+    update_episodes unreach ~now ~bound:mttr_bound ~viol:blackhole
+      ~on_resolved:(fun dt ->
+        incr mttr_n;
+        if dt > !mttr_max then mttr_max := dt)
+      (Harness.repaired_unreachable h);
+    let uninstalled = Harness.uninstalled_live_hosts h in
+    update_episodes uninst ~now ~bound:rejoin_bound ~viol:rejoin
+      ~on_resolved:(fun _ -> ())
+      uninstalled;
+    (* All recoveries are clamped to the chaos window, so once it closes
+       the uninstalled set must only drain. *)
+    if now > chaos_until then begin
+      let u = List.length uninstalled in
+      if u > !prev_uninstalled then incr monotone_viol;
+      prev_uninstalled := u
+    end
+  in
+  let t = ref chaos_from in
+  while !t <= settle_until +. 0.001 do
+    Harness.run_until h !t;
+    tick !t;
+    t := !t +. epoch
+  done;
+  (* Provenance scoring: per true slot, the total landed across *all*
+     results. [overcount = 0] certifies the total is duplicate-free, so
+     it is exactly the number of distinct host tuples the root ever saw
+     for that window — delivered completeness, which is what a blackhole
+     destroys (the paper's single-result "true completeness" also moves
+     with split windows, which repair does not promise to prevent). Slot
+     [s] of the 1 s sensor window is due at [s + 1]. *)
+  let total = Hashtbl.create 256 in
+  List.iter
+    (fun (_, prov) ->
+      List.iter
+        (fun (slot, n) ->
+          Hashtbl.replace total slot
+            (n + Option.value (Hashtbl.find_opt total slot) ~default:0))
+        prov)
+    (Harness.provenance_results h);
+  let true_compl lo hi =
+    let slots = ref 0
+    and acc = ref 0.0 in
+    Hashtbl.iter
+      (fun slot n ->
+        let due = float_of_int (slot + 1) in
+        if due >= lo && due < hi then begin
+          incr slots;
+          acc := !acc +. (float_of_int (min n hosts) /. float_of_int hosts)
+        end)
+      total;
+    if !slots = 0 then 0.0 else !acc /. float_of_int !slots
+  in
+  let overcount = ref 0 in
+  Hashtbl.iter (fun _ n -> if n > hosts then incr overcount) total;
+  let floor_viol = ref 0 in
+  let e = ref (chaos_from +. epoch) in
+  while !e <= chaos_until +. 0.001 do
+    if true_compl (!e -. epoch) !e < floor then incr floor_viol;
+    e := !e +. epoch
+  done;
+  let warm_compl = true_compl (chaos_from -. 10.0) (chaos_from -. 1.0) in
+  let chaos_compl = true_compl (chaos_from +. epoch) chaos_until in
+  (* Leave the last few windows out: the eviction ladder means a window
+     due at [t] is not fully reported at the root until roughly [t + 4],
+     so windows due after [settle_until - 4] are still in flight when the
+     run stops. *)
+  let settle_compl = true_compl (settle_until -. 17.0) (settle_until -. 4.0) in
+  let steady_viol = if settle_compl < 0.95 then 1 else 0 in
+  let sum_stats f =
+    let acc = ref 0 in
+    for i = 0 to hosts - 1 do
+      acc := !acc + f (Peer.stats (D.peer d i))
+    done;
+    !acc
+  in
+  let counters =
+    Printf.sprintf
+      "repairs=%d reparent_edges=%d warmup_replayed=%d warmup_dropped=%d \
+       partners_swept=%d ctl_abandoned=%d"
+      (sum_stats (fun s -> s.Peer.repairs))
+      (sum_stats (fun s -> s.Peer.reparent_edges))
+      (sum_stats (fun s -> s.Peer.warmup_replayed))
+      (sum_stats (fun s -> s.Peer.warmup_dropped))
+      (sum_stats (fun s -> s.Peer.partners_swept))
+      (sum_stats (fun s -> s.Peer.ctl_abandoned))
+  in
+  ( {
+      warm_compl;
+      chaos_compl;
+      settle_compl;
+      mttr_max = !mttr_max;
+      mttr_n = !mttr_n;
+      blackhole = !blackhole;
+      rejoin = !rejoin;
+      floor_viol = !floor_viol;
+      steady_viol;
+      monotone_viol = !monotone_viol;
+      overcount = !overcount;
+    },
+    counters )
+
+let run ~quick =
+  let on, on_counters = soak_row ~quick ~self_heal:true in
+  let off, off_counters = soak_row ~quick ~self_heal:false in
+  Common.table
+    ~columns:[ "repair"; "warm"; "chaos"; "settle"; "max mttr(s)"; "episodes"; "violations" ]
+    (fun () ->
+      let row label o =
+        [
+          label;
+          Common.cell_pct o.warm_compl;
+          Common.cell_pct o.chaos_compl;
+          Common.cell_pct o.settle_compl;
+          Common.cell_f o.mttr_max;
+          string_of_int o.mttr_n;
+          string_of_int (violations o);
+        ]
+      in
+      [ row "on" on; row "off" off ]);
+  let detail label o counters =
+    Printf.printf
+      "repair=%s: blackhole=%d rejoin=%d floor=%d steady=%d monotone=%d overcount=%d | %s\n"
+      label o.blackhole o.rejoin o.floor_viol o.steady_viol o.monotone_viol o.overcount
+      counters
+  in
+  detail "on" on on_counters;
+  detail "off" off off_counters;
+  (* The CI gate greps this exact line: it must report the repair-on row
+     and must be zero. *)
+  Printf.printf "invariant violations: %d\n" (violations on)
+
+let experiment =
+  {
+    Common.id = "soak";
+    title = "Self-healing chaos soak (repair + rejoin + warm-up under composed faults)";
+    paper_claim =
+      "beyond the paper: with failure-driven tree repair and crash-rejoin recovery on, a \
+       composed churn/burst-loss/correlated-kill schedule leaves no host blackholed past \
+       the MTTR bound, never over-counts a window, and completeness returns to >= 95% \
+       after the chaos window; the static plan (repair off) demonstrably degrades";
+    run;
+  }
+
+let register () = Common.register experiment

@@ -114,6 +114,12 @@ let duplicate t ~dst ~key =
 let seen_keys t ~dst =
   match t.seen.(dst) with None -> 0 | Some e -> Hashtbl.length e.tbl
 
+(* A process restart loses its duplicate-suppression memory with the rest
+   of its state; dropping the table also keeps multi-hour churn runs from
+   holding [seen_cap] keys for every host that ever crashed. Fresh keys
+   are never suppressed by this: senders' keys are globally unique. *)
+let clear_seen t ~dst = t.seen.(dst) <- None
+
 (* The branch structure below mirrors the old short-circuit condition
    exactly — the loss draw happens only when both endpoints are up, and
    [Faults.decide] only when the loss draw passes — so seeded replays

@@ -77,6 +77,11 @@ val seen_keys : _ t -> dst:Topology.host -> int
 (** Number of duplicate-suppression keys currently remembered for a
     destination (bounded by [seen_cap]; introspection for tests). *)
 
+val clear_seen : _ t -> dst:Topology.host -> unit
+(** Forget [dst]'s duplicate-suppression memory, as a process restart
+    does. Also the reclamation path for long churn runs: without it every
+    host that ever crashed pins up to [seen_cap] keys forever. *)
+
 val bytes_series : _ t -> kind:string -> Mortar_sim.Series.t option
 (** Link-bytes series for one traffic kind, if any traffic was sent. *)
 

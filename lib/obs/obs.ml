@@ -28,6 +28,15 @@ type event =
   | Dup_suppressed of { dst : int; kind : string }
   | Ts_merge of { node : int; query : string }
   | Tree_repair of { node : int; query : string }
+  | Orphaned of { node : int; query : string }
+  | Reparent of {
+      node : int;
+      query : string;
+      tree : int;
+      from_parent : int;
+      to_parent : int;
+      donor : string;
+    }
   | Reconcile_round of { node : int; partner : int }
   | Query_install of { node : int; query : string }
   | Window_close of { slot : int; count : int }
@@ -283,6 +292,17 @@ module Reg = struct
     | Dup_suppressed { dst; kind } -> ("dup_suppressed", [ field_i "dst" dst; field_s "kind" kind ])
     | Ts_merge { node; query } -> ("ts_merge", [ field_i "node" node; field_s "query" query ])
     | Tree_repair { node; query } -> ("tree_repair", [ field_i "node" node; field_s "query" query ])
+    | Orphaned { node; query } -> ("orphaned", [ field_i "node" node; field_s "query" query ])
+    | Reparent { node; query; tree; from_parent; to_parent; donor } ->
+      ( "reparent",
+        [
+          field_i "node" node;
+          field_s "query" query;
+          field_i "tree" tree;
+          field_i "from_parent" from_parent;
+          field_i "to_parent" to_parent;
+          field_s "donor" donor;
+        ] )
     | Reconcile_round { node; partner } ->
       ("reconcile_round", [ field_i "node" node; field_i "partner" partner ])
     | Query_install { node; query } ->

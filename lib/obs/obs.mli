@@ -51,6 +51,18 @@ type event =
       (** A summary inserted/merged into a TS list. *)
   | Tree_repair of { node : int; query : string }
       (** Query re-deployment superseding the old plan (§3.2). *)
+  | Orphaned of { node : int; query : string }
+      (** The failure detector found every union parent dead — the node is
+          blackholed until repair finds a live donor. *)
+  | Reparent of {
+      node : int;
+      query : string;
+      tree : int;
+      from_parent : int;
+      to_parent : int;
+      donor : string; (** ["grand"] or ["sibling"]. *)
+    }
+      (** One repair decision: the node adopted [to_parent] on [tree]. *)
   | Reconcile_round of { node : int; partner : int }
       (** Digest mismatch triggered a reconciliation exchange (§6.1). *)
   | Query_install of { node : int; query : string }

@@ -77,3 +77,19 @@ let interior_overlap a b =
     List.iter (fun n -> Hashtbl.replace set_b n ()) ib;
     let common = List.length (List.filter (Hashtbl.mem set_b) ia) in
     float_of_int common /. float_of_int (List.length ia)
+
+(* Repair donor ordering (self-healing). The candidate list is canonical —
+   grandparent first, then surviving siblings ascending — and every edge it
+   can introduce strictly decreases the (original level, id) lexicographic
+   rank of the adopted parent: a grandparent sits two levels up, and a
+   sibling donor is admitted only when its id is strictly below the
+   orphan's. Adoption edges therefore never close a cycle, whatever order
+   concurrent orphans repair in. *)
+let repair_donors ~self ~grand ~siblings =
+  let g = match grand with Some g -> [ (g, `Grand) ] | None -> [] in
+  let sibs =
+    List.filter (fun s -> s < self) siblings
+    |> List.sort compare
+    |> List.map (fun s -> (s, `Sib))
+  in
+  g @ sibs

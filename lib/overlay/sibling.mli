@@ -35,6 +35,16 @@ val derive_cluster_shuffle : Mortar_util.Rng.t -> bf:int -> Tree.t -> Tree.t
 val derive_many_cluster_shuffle :
   Mortar_util.Rng.t -> bf:int -> Tree.t -> n:int -> Tree.t list
 
+val repair_donors :
+  self:int -> grand:int option -> siblings:int list -> (int * [ `Grand | `Sib ]) list
+(** Canonical donor order for failure-driven tree repair: the grandparent
+    (when the orphan is at level ≥ 2) first, then surviving siblings in
+    ascending id order, {e filtered to ids strictly below [self]}. The
+    filter is the acyclicity guard: every adoption edge strictly decreases
+    the (original level, id) lexicographic rank of the parent end, so
+    concurrent repairs can never stitch the per-tree parent graph into a
+    cycle — two mutually orphaned siblings cannot both adopt each other. *)
+
 val interior_overlap : Tree.t -> Tree.t -> float
 (** Fraction of one tree's internal node labels that are also internal in
     the other — a diagnostic for path diversity ([1.] = identical

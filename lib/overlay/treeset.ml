@@ -48,6 +48,16 @@ let children t ~tree n = Tree.children t.all.(tree) n
 
 let level t ~tree n = Tree.level t.all.(tree) n
 
+let grandparent t ~tree n =
+  match Tree.parent t.all.(tree) n with
+  | None -> None
+  | Some p -> Tree.parent t.all.(tree) p
+
+let siblings t ~tree n =
+  match Tree.parent t.all.(tree) n with
+  | None -> []
+  | Some p -> List.filter (fun c -> c <> n) (Tree.children t.all.(tree) p)
+
 let unique_neighbors t n =
   let seen = Hashtbl.create 16 in
   Array.iter

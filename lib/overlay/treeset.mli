@@ -48,6 +48,16 @@ val children : t -> tree:int -> int -> int list
 
 val level : t -> tree:int -> int -> int
 
+val grandparent : t -> tree:int -> int -> int option
+(** The parent's parent on one tree — the first repair donor a node falls
+    back to when its parent dies ({!Sibling.repair_donors}). [None] for the
+    root and its children. *)
+
+val siblings : t -> tree:int -> int -> int list
+(** The other children of the node's parent on one tree, in canonical
+    (ascending) order — the second class of repair donors. Empty for the
+    root. *)
+
 val unique_neighbors : t -> int -> int list
 (** All distinct parents and children of a node across the tree set — the
     peers it must exchange heartbeats with (§3.3, Fig 13). *)

@@ -21,5 +21,6 @@ let () =
       ("obs", Test_obs.tests);
       ("edge-cases", Test_edge_cases.tests);
       ("integration", Test_integration.tests);
+      ("self-heal", Test_selfheal.tests);
       ("lint", Test_lint.tests);
     ]

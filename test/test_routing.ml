@@ -14,6 +14,8 @@ let view : Query.node_view =
     children = [| [ 20; 21 ]; [ 22 ] |];
     levels = [| 2; 3 |];
     heights = [| 4; 4 |];
+    grands = [||];
+    sibs = [||];
   }
 
 let root_view : Query.node_view =
@@ -22,6 +24,8 @@ let root_view : Query.node_view =
     children = [| [ 1 ]; [ 2 ] |];
     levels = [| 0; 0 |];
     heights = [| 4; 4 |];
+    grands = [||];
+    sibs = [||];
   }
 
 let alive_except dead n = not (List.mem n dead)

@@ -1,0 +1,181 @@
+(* Self-healing data plane: property tests.
+
+   Each property drives a full seeded deployment through the composed
+   chaos schedule with repair enabled and checks a soak invariant:
+
+   - convergence: no live installed host stays union-disconnected from
+     the root longer than the MTTR bound, and the deployment ends fully
+     connected and fully installed;
+   - duplicate safety: summing any true window's provenance across all
+     reported results never exceeds the host count — repair re-parenting
+     and warm-up replay must not double-count under time-division
+     indexing;
+   - determinism: the repair decision stream (orphaned / reparent trace
+     events) is byte-identical across same-seed reruns.
+
+   The simulations are deterministic, so these are exhaustive checks
+   over a sampled seed space, not statistical smoke tests. *)
+
+module D = Mortar_emul.Deployment
+module Peer = Mortar_core.Peer
+module Harness = Mortar_experiments.Harness
+module Sibling = Mortar_overlay.Sibling
+module Obs = Mortar_obs.Obs
+
+let chaos_from = 10.0
+let chaos_until = 45.0
+let run_end = 75.0
+let mttr_bound = 30.0
+
+(* Small but structured: 60 hosts, two trees (so the union graph can
+   actually disconnect), chaos for 35 s, then a settle tail. *)
+let run_scenario ~seed =
+  let hosts = 60 in
+  let config =
+    { Peer.default_config with Peer.self_heal = true; warmup_buffer = 16; ctl_retries = 2 }
+  in
+  let h =
+    Harness.create ~seed ~hosts ~transits:3 ~stubs:6 ~bf:6 ~degree:2
+      ~track_provenance:true ~config ()
+  in
+  let d = Harness.deployment h in
+  let schedule =
+    D.composed_churn d
+      ~rng:(Mortar_util.Rng.create (seed lxor 0x2b))
+      ~from:chaos_from ~until:chaos_until ~protect:[ 0 ] ~churn_period:10.0 ~churn_kills:1
+      ~down_min:6.0 ~down_max:12.0 ~burst_period:60.0 ~burst_len:10.0 ~kill_period:15.0
+      ~kill_fraction:0.7 ~kill_len:12.0 ()
+  in
+  D.schedule_faults d schedule;
+  (h, hosts)
+
+(* Advance in [step]-second increments, reporting the unreachable set at
+   each sample to [on_sample]. *)
+let drive h ~on_sample =
+  let t = ref chaos_from in
+  while !t <= run_end +. 0.001 do
+    Harness.run_until h !t;
+    on_sample !t (Harness.repaired_unreachable h);
+    t := !t +. 2.5
+  done
+
+let prop_converges =
+  QCheck.Test.make ~name:"repair converges within the MTTR bound" ~count:6
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let h, _hosts = run_scenario ~seed in
+      let since = Hashtbl.create 16 in
+      let worst = ref 0.0 in
+      drive h ~on_sample:(fun now unreachable ->
+          let cur = Hashtbl.create 16 in
+          List.iter (fun v -> Hashtbl.replace cur v ()) unreachable;
+          Hashtbl.iter
+            (fun v t0 ->
+              if Hashtbl.mem cur v then begin
+                if now -. t0 > !worst then worst := now -. t0
+              end)
+            since;
+          List.iter
+            (fun v -> if not (Hashtbl.mem since v) then Hashtbl.replace since v now)
+            unreachable;
+          Hashtbl.iter (fun v _ -> if not (Hashtbl.mem cur v) then Hashtbl.remove since v)
+            (Hashtbl.copy since));
+      if !worst > mttr_bound then
+        QCheck.Test.fail_reportf "host blackholed for %.1fs (bound %.1fs)" !worst
+          mttr_bound;
+      if Harness.repaired_unreachable h <> [] then
+        QCheck.Test.fail_reportf "unreachable hosts at end of settle";
+      if Harness.uninstalled_live_hosts h <> [] then
+        QCheck.Test.fail_reportf "live hosts still uninstalled at end of settle";
+      true)
+
+let prop_no_overcount =
+  QCheck.Test.make ~name:"repaired runs never over-count a window" ~count:6
+    QCheck.(int_range 1001 2000)
+    (fun seed ->
+      let h, hosts = run_scenario ~seed in
+      Harness.run_until h run_end;
+      let total = Hashtbl.create 128 in
+      List.iter
+        (fun (_, prov) ->
+          List.iter
+            (fun (slot, n) ->
+              Hashtbl.replace total slot
+                (n + Option.value (Hashtbl.find_opt total slot) ~default:0))
+            prov)
+        (Harness.provenance_results h);
+      Hashtbl.iter
+        (fun slot n ->
+          if n > hosts then
+            QCheck.Test.fail_reportf "true slot %d counted %d tuples from %d hosts" slot n
+              hosts)
+        total;
+      true)
+
+let contains_sub s sub =
+  let n = String.length s
+  and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* The repair decision stream, as the structured trace records it. *)
+let repair_trace ~seed =
+  let was = !Obs.enabled in
+  Obs.enabled := true;
+  Obs.Reg.clear Obs.default;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Reg.clear Obs.default;
+      Obs.enabled := was)
+    (fun () ->
+      let h, _ = run_scenario ~seed in
+      Harness.run_until h run_end;
+      List.filter
+        (fun line -> contains_sub line "reparent" || contains_sub line "orphaned")
+        (Obs.Reg.trace_lines Obs.default))
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"repair decisions are byte-identical across same-seed reruns"
+    ~count:4
+    QCheck.(int_range 2001 3000)
+    (fun seed ->
+      let a = repair_trace ~seed
+      and b = repair_trace ~seed in
+      if a <> b then
+        QCheck.Test.fail_reportf "repair traces diverged (%d vs %d lines)" (List.length a)
+          (List.length b);
+      true)
+
+(* A pinned seed that is known to orphan hosts, so the determinism
+   property above cannot pass vacuously for every sampled seed. *)
+let test_deterministic_nonvacuous () =
+  let a = repair_trace ~seed:7 in
+  Alcotest.(check bool) "pinned seed produces repair decisions" true (a <> []);
+  Alcotest.(check (list string)) "pinned seed replays byte-identically" a
+    (repair_trace ~seed:7)
+
+(* Donor ordering is the acyclicity argument: grandparent first (two
+   levels up), then only strictly smaller sibling ids, canonically
+   sorted. *)
+let test_repair_donors () =
+  Alcotest.(check (list (pair int string)))
+    "grand first, then smaller siblings sorted"
+    [ (2, "grand"); (1, "sib"); (3, "sib") ]
+    (List.map
+       (fun (n, k) -> (n, match k with `Grand -> "grand" | `Sib -> "sib"))
+       (Sibling.repair_donors ~self:5 ~grand:(Some 2) ~siblings:[ 7; 3; 1 ]));
+  Alcotest.(check (list (pair int string)))
+    "no grandparent, larger siblings filtered" []
+    (List.map
+       (fun (n, k) -> (n, match k with `Grand -> "grand" | `Sib -> "sib"))
+       (Sibling.repair_donors ~self:2 ~grand:None ~siblings:[ 5; 9 ]))
+
+let tests =
+  [
+    Alcotest.test_case "repair donor ordering" `Quick test_repair_donors;
+    QCheck_alcotest.to_alcotest prop_converges;
+    QCheck_alcotest.to_alcotest prop_no_overcount;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+    Alcotest.test_case "pinned-seed repair trace (non-vacuous)" `Quick
+      test_deterministic_nonvacuous;
+  ]
