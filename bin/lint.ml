@@ -1,4 +1,4 @@
-(* mortar-lint: determinism & correctness static analysis (rules D1-D5).
+(* mortar-lint: determinism & correctness static analysis (rules D1-D6).
 
    Usage: lint [--baseline FILE] [--update-baseline] [PATH ...]
 

@@ -32,6 +32,20 @@ let trace_out_arg =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write the structured event trace (sim-time stamped) as JSON lines.")
 
+(* Execution width of the sharded simulation runtime. Output is
+   byte-identical for every value (the logical decomposition is fixed by
+   the topology); this only sets how many domains run shard slices. *)
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Run the simulation on $(docv) domains (OCaml 5 only; 1 = sequential). Results \
+           are byte-identical for any N.")
+
+let set_shards n = Mortar_emul.Deployment.default_domains := max 1 n
+
 let with_obs ~metrics_out ~trace_out f =
   if metrics_out <> None || trace_out <> None then begin
     Obs.enabled := true;
@@ -50,8 +64,9 @@ let experiments_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Scaled-down configurations (fast).")
   in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  let run quick metrics_out trace_out ids =
+  let run quick shards metrics_out trace_out ids =
     setup_registry ();
+    set_shards shards;
     match ids with
     | [] ->
       with_obs ~metrics_out ~trace_out (fun () ->
@@ -79,7 +94,8 @@ let experiments_cmd =
   let info =
     Cmd.info "experiments" ~doc:"Reproduce the paper's figures (tables on stdout)."
   in
-  Cmd.v info Term.(ret (const run $ quick $ metrics_out_arg $ trace_out_arg $ ids))
+  Cmd.v info
+    Term.(ret (const run $ quick $ shards_arg $ metrics_out_arg $ trace_out_arg $ ids))
 
 let list_cmd =
   let run () =
@@ -107,8 +123,9 @@ let run_cmd =
   let sensor_rate =
     Arg.(value & opt float 1.0 & info [ "rate" ] ~doc:"Sensor tuples per second per node.")
   in
-  let run file hosts duration sensor_rate metrics_out trace_out =
+  let run file hosts duration sensor_rate shards metrics_out trace_out =
     Mortar_wifi.Wifi.register_trilat ();
+    set_shards shards;
     let text =
       let ic = open_in file in
       let n = in_channel_length ic in
@@ -127,7 +144,7 @@ let run_cmd =
           ~stubs:(max 4 (hosts / 20))
           ~hosts ()
       in
-      let d = Mortar_emul.Deployment.create ~seed:2024 topo in
+      let d = Mortar_emul.Deployment.create_sharded ~seed:2024 topo in
       Mortar_emul.Deployment.converge_coordinates d ();
       let metas = Mortar_core.Msl.query_metas program ~root:0 ~total_nodes:hosts () in
       List.iter
@@ -182,7 +199,7 @@ let run_cmd =
   Cmd.v info
     Term.(
       ret
-        (const run $ file $ hosts $ duration $ sensor_rate $ metrics_out_arg
+        (const run $ file $ hosts $ duration $ sensor_rate $ shards_arg $ metrics_out_arg
        $ trace_out_arg))
 
 let main =

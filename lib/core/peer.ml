@@ -1,3 +1,4 @@
+module Itbl = Mortar_util.Int_tbl
 module Rng = Mortar_util.Rng
 module Ewma = Mortar_util.Ewma
 module Obs = Mortar_obs.Obs
@@ -105,9 +106,16 @@ type instance = {
   op : Op.impl;
   ts : Ts_list.t;
   netdist : Ewma.t;
+  mutable netdist_hi : float;
+      (* Conservative companion to [netdist] for eviction horizons: jumps
+         to any larger observed age immediately, decays 30 % per fold,
+         never below the EWMA. The symmetric EWMA alone converges at 10 %
+         per slide, and under-waiting while it converges is irreversible
+         (the window is reported and later data suppressed), while
+         over-waiting only delays a result. *)
   t_ref_base : float; (* basis time = local_time - t_ref_base *)
   mutable stripe : int;
-  emitted : (int, float) Hashtbl.t; (* evicted local slot -> eviction basis time *)
+  emitted : float Itbl.t; (* evicted local slot -> eviction basis time *)
   mutable max_emitted : int;
   mutable emitted_te : float; (* eviction watermark (tuple windows) *)
   mutable raws : raw list; (* newest first; time windows *)
@@ -172,7 +180,7 @@ type t = {
   instances : (string, instance) Hashtbl.t;
   removed : (string, int) Hashtbl.t; (* name -> latest removal seqno *)
   not_mine : (string, int) Hashtbl.t; (* queries we learned do not include us *)
-  partners : (int, partner) Hashtbl.t;
+  partners : partner Itbl.t;
   plans : (string, Query.meta * Mortar_overlay.Treeset.t) Hashtbl.t; (* injector only *)
   pending_views : (string, float) Hashtbl.t; (* name -> last request local time *)
   warmup : (string, warmup_entry Queue.t) Hashtbl.t; (* name -> buffered data *)
@@ -189,6 +197,9 @@ type t = {
   mutable hb_counter : int;
   mutable hb_timer : timer option;
   mutable digest_cache : string option;
+  mutable instances_sorted : (string * instance) list option;
+      (* name-sorted cache of [instances]; rebuilt lazily after
+         install/remove — [inject] walks it on every source tick *)
   (* counters *)
   mutable n_results : int;
   mutable n_sent : int;
@@ -234,20 +245,36 @@ let digest t =
     t.digest_cache <- Some d;
     d
 
-let invalidate_digest t = t.digest_cache <- None
+(* Every install/remove/crash path that mutates [instances] runs through
+   here (they must refresh the digest too), so one invalidation covers
+   both caches. *)
+let invalidate_digest t =
+  t.digest_cache <- None;
+  t.instances_sorted <- None
+
+let sorted_instances t =
+  match t.instances_sorted with
+  | Some l -> l
+  | None ->
+    let l =
+      Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) t.instances []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    t.instances_sorted <- Some l;
+    l
 
 (* ------------------------------------------------------------------ *)
 (* Heartbeat partner bookkeeping.                                      *)
 
 let partner_of t node =
-  match Hashtbl.find_opt t.partners node with
+  match Itbl.find_opt t.partners node with
   | Some p -> p
   | None ->
     let p =
       { refcount = 0; last_heard = now_local t; last_confirmed = neg_infinity;
         last_reconcile = neg_infinity }
     in
-    Hashtbl.replace t.partners node p;
+    Itbl.replace t.partners node p;
     p
 
 let retain_partner t node =
@@ -256,19 +283,19 @@ let retain_partner t node =
   p.last_heard <- now_local t
 
 let release_partner t node =
-  match Hashtbl.find_opt t.partners node with
+  match Itbl.find_opt t.partners node with
   | None -> ()
   | Some p ->
     p.refcount <- p.refcount - 1;
-    if p.refcount <= 0 then Hashtbl.remove t.partners node
+    if p.refcount <= 0 then Itbl.remove t.partners node
 
 let alive_neighbor t node =
-  match Hashtbl.find_opt t.partners node with
+  match Itbl.find_opt t.partners node with
   | None -> true
   | Some p -> now_local t -. p.last_heard < t.cfg.hb_timeout_factor *. t.cfg.hb_period
 
 let heard_from t src =
-  match Hashtbl.find_opt t.partners src with
+  match Itbl.find_opt t.partners src with
   | Some p ->
     let local = now_local t in
     p.last_heard <- local;
@@ -276,7 +303,7 @@ let heard_from t src =
   | None -> ()
 
 let confirmed_alive t node =
-  match Hashtbl.find_opt t.partners node with
+  match Itbl.find_opt t.partners node with
   | None -> false
   | Some p -> now_local t -. p.last_confirmed < t.cfg.hb_timeout_factor *. t.cfg.hb_period
 
@@ -420,15 +447,20 @@ and mark_emitted t inst (s : Summary.t) =
     let slide = slide_of inst.meta in
     let slot = Index.slot ~slide (s.index.Index.tb +. (slide /. 2.0)) in
     let b = basis inst ~local:(now_local t) in
-    Hashtbl.replace inst.emitted slot b;
+    Itbl.replace inst.emitted slot b;
     if slot > inst.max_emitted then inst.max_emitted <- slot;
     (* Prune by age, not slot distance: under clock offset (timestamp
        mode) slot labels from different nodes are far apart, and a
        distance-based watermark would discard every slower cluster. *)
     let horizon = float_of_int t.cfg.emitted_horizon *. slide in
-    Hashtbl.iter
-      (fun old at -> if b -. at > horizon then Hashtbl.remove inst.emitted old)
-      (Hashtbl.copy inst.emitted)
+    (* Two-pass collect-then-remove: mutating under [Hashtbl.iter] is
+       unspecified, and the old [Hashtbl.copy] here allocated a fresh
+       table on every eviction of every host. *)
+    let stale =
+      Itbl.fold (fun old at acc -> if b -. at > horizon then old :: acc else acc)
+        inst.emitted []
+    in
+    List.iter (Itbl.remove inst.emitted) stale
   | Window.Tuples _ -> ());
   if s.index.Index.te > inst.emitted_te then inst.emitted_te <- s.index.Index.te
 
@@ -532,7 +564,12 @@ and report_result t inst (s : Summary.t) =
            query = name;
            slot = slide_slot;
            count = s.count;
-           value = (match value with Value.Null -> 0.0 | v -> Value.to_float v);
+           (* Structured results (topk lists, trilat records) have no
+              scalar projection; the trace renders them as null. *)
+           value =
+             (match value with
+             | Value.Null -> 0.0
+             | v -> ( match Value.to_float_opt v with Some f -> f | None -> nan));
            hops = s.hops;
            hops_max = s.hops_max;
            age = s.age;
@@ -545,12 +582,47 @@ and report_result t inst (s : Summary.t) =
   if not s.boundary then inject t ~stream:meta.Query.name value
 
 (* Insert a summary into the instance's TS list with the dynamic timeout
-   of §4.3 and re-arm the eviction timer. *)
+   of §4.3 and re-arm the eviction timer.
+
+   §4.3 phrases the wait per arriving tuple — netDist minus the tuple's
+   age, i.e. "how much longer can this tuple's generation cohort take to
+   drain". For a time window that anchor is wrong when the first arrival
+   was generated before the window closed: a fast-offset source emits
+   mid-window (in the receiver's basis), the countdown starts from that
+   early instant, and the window is evicted — all later data for it then
+   suppressed as already-emitted — before the slower constituents could
+   possibly have arrived. One such source among 100k hosts silently
+   blanks an entire window at the root (caught by the scale bench, which
+   scored 83.3% at 100k until this fix). The window's cohort is generated
+   up to [te], so the drain horizon is [te + netDist + slack]; when the
+   first arrival is emitted exactly at window close — the common case —
+   this equals the per-tuple formula.
+
+   The horizon applies at the root only. The per-tuple form keeps interior
+   deadlines naturally staggered — a deep operator's countdown starts from
+   its (early) first arrival, so subtrees drain strictly before their
+   parents. Anchoring every level at the same [te] collapses that stagger:
+   interior nodes hold exactly as long as the root, the root evicts while
+   its subtrees are still holding, and under rolling failures the
+   post-reconnect completeness plateaus drop by up to 13 points (fig14).
+   The root has no parent racing it, so waiting longer there costs only
+   latency. Timestamp mode keeps the per-tuple form everywhere: its [te]
+   comes from the sender's clock (offset pollutes it, §5) and its age is
+   inferred from the window midpoint, so a [te]-anchored horizon feeds the
+   held-aggregate-looks-older ratchet even with synced clocks. Tuple
+   windows have no fixed close instant in the receiver's basis. *)
 and ts_insert t inst (s : Summary.t) =
   let b = basis inst ~local:(now_local t) in
   let nd = Ewma.value_or inst.netdist 0.0 in
-  let timeout = max t.cfg.min_timeout (nd -. s.age +. t.cfg.timeout_slack) in
-  Ts_list.insert inst.ts ~now:b ~deadline:(b +. timeout) s;
+  let deadline =
+    match (inst.meta.Query.window, inst.meta.Query.mode) with
+    | Window.Time _, Query.Syncless when t.rt.self = inst.meta.Query.root ->
+      max
+        (b +. t.cfg.min_timeout)
+        (s.Summary.index.Index.te +. max nd inst.netdist_hi +. t.cfg.timeout_slack)
+    | _ -> b +. max t.cfg.min_timeout (nd -. s.age +. t.cfg.timeout_slack)
+  in
+  Ts_list.insert inst.ts ~now:b ~deadline s;
   if !Obs.enabled then begin
     Obs.incr ~scope:(Obs.Node t.rt.self) "peer.ts_inserts";
     Obs.trace ~t:(now_local t)
@@ -567,6 +639,8 @@ and emit_local t inst (s : Summary.t) =
 and fold_netdist inst =
   if inst.age_max_period > neg_infinity then begin
     Ewma.update inst.netdist inst.age_max_period;
+    inst.netdist_hi <-
+      max (Ewma.value_or inst.netdist 0.0) (0.7 *. inst.netdist_hi);
     inst.age_max_period <- neg_infinity
   end
 
@@ -684,8 +758,7 @@ and boundary_check t inst =
 and inject t ~stream ?true_slot payload =
   (* Sorted instance order: a tuple-window emit fired from here sends
      messages, so the order across instances is simulation-visible. *)
-  Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) t.instances []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  sorted_instances t
   |> List.iter
     (fun (_, inst) ->
       if inst.meta.Query.source = stream then begin
@@ -745,7 +818,7 @@ let already_emitted t inst (s : Summary.t) =
   match inst.meta.Query.window with
   | Window.Time { slide; _ } ->
     let slot = Index.slot ~slide (s.index.Index.tb +. (slide /. 2.0)) in
-    Hashtbl.mem inst.emitted slot
+    Itbl.mem inst.emitted slot
   | Window.Tuples _ -> s.index.Index.te <= inst.emitted_te
 
 (* Warm-up (crash-rejoin): a summary for a query we have not (re)installed
@@ -839,6 +912,7 @@ let handle_data t ~src ~query ~seqno ~tree ~summary ~visited ~path ~ttl_down =
        timestamp mode the age is the timestamp-inferred delay, so offset
        inflates the estimate and with it every wait. *)
     if s.Summary.age > inst.age_max_period then inst.age_max_period <- s.Summary.age;
+    if s.Summary.age > inst.netdist_hi then inst.netdist_hi <- s.Summary.age;
     if inst.meta.Query.aggregate = false && t.rt.self <> inst.meta.Query.root then begin
       (* No-aggregation baseline: pass everything through. *)
       let visited =
@@ -959,9 +1033,10 @@ let install_local t (meta : Query.meta) view ~install_age =
               ~extend_boundaries:(not (Window.is_time meta.window))
               ~quiet_guard:t.cfg.quiet_guard ~hard_cap ~op ();
           netdist = Ewma.create ();
+          netdist_hi = 0.0;
           t_ref_base;
           stripe = Rng.int t.rt.rng (max 1 meta.degree);
-          emitted = Hashtbl.create 64;
+          emitted = Itbl.create 64;
           max_emitted = min_int;
           emitted_te = neg_infinity;
           raws = [];
@@ -1009,22 +1084,45 @@ let forward_install t (meta : Query.meta) members edges ~age =
       Hashtbl.replace children p (c :: Option.value (Hashtbl.find_opt children p) ~default:[]))
     edges;
   let my_children = Option.value (Hashtbl.find_opt children t.rt.self) ~default:[] in
-  List.iter
-    (fun child ->
-      (* Collect the subtree of the chunk rooted at [child]. *)
-      let subtree = Hashtbl.create 16 in
-      let rec collect n =
-        Hashtbl.replace subtree n ();
-        List.iter collect (Option.value (Hashtbl.find_opt children n) ~default:[])
-      in
-      collect child;
-      let sub_members = List.filter (fun (n, _) -> Hashtbl.mem subtree n) members in
-      let sub_edges =
-        List.filter (fun (c, p) -> Hashtbl.mem subtree c && Hashtbl.mem subtree p) edges
-      in
-      send_ctl t ~dst:child
-        (Msg.Install { meta; members = sub_members; edges = sub_edges; age }))
-    my_children
+  if my_children <> [] then begin
+    (* Partition members/edges by owning child subtree in one pass each:
+       per-child filters over the full lists are O(children * chunk) and
+       dominated install at scale. [owner] maps every node under a chunk
+       child to that child; splitting with [List.partition]-style folds
+       below preserves the original list order within each sub-chunk, so
+       the forwarded wire payloads are byte-identical to the old code. *)
+    let owner = Hashtbl.create 64 in
+    List.iter
+      (fun child ->
+        let rec claim n =
+          Hashtbl.replace owner n child;
+          List.iter claim (Option.value (Hashtbl.find_opt children n) ~default:[])
+        in
+        claim child)
+      my_children;
+    let sub_members = Hashtbl.create 8 and sub_edges = Hashtbl.create 8 in
+    let push tbl key v =
+      Hashtbl.replace tbl key (v :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+    in
+    List.iter
+      (fun ((n, _) as m) ->
+        match Hashtbl.find_opt owner n with
+        | Some child -> push sub_members child m
+        | None -> ())
+      members;
+    List.iter
+      (fun ((c, p) as e) ->
+        match (Hashtbl.find_opt owner c, Hashtbl.find_opt owner p) with
+        | Some child, Some child' when child = child' -> push sub_edges child e
+        | _ -> ())
+      edges;
+    List.iter
+      (fun child ->
+        let members = List.rev (Option.value (Hashtbl.find_opt sub_members child) ~default:[]) in
+        let edges = List.rev (Option.value (Hashtbl.find_opt sub_edges child) ~default:[]) in
+        send_ctl t ~dst:child (Msg.Install { meta; members; edges; age }))
+      my_children
+  end
 
 let handle_install t (meta : Query.meta) members edges ~age =
   (match List.assoc_opt t.rt.self members with
@@ -1243,13 +1341,13 @@ let sweep_idle t =
   let local = now_local t in
   let horizon = 4.0 *. t.cfg.hb_timeout_factor *. t.cfg.hb_period in
   let stale =
-    Hashtbl.fold
+    Itbl.fold
       (fun n p acc ->
         if p.refcount <= 0 && local -. p.last_heard > horizon then n :: acc else acc)
       t.partners []
     |> List.sort compare
   in
-  List.iter (Hashtbl.remove t.partners) stale;
+  List.iter (Itbl.remove t.partners) stale;
   (match stale with
   | [] -> ()
   | l ->
@@ -1268,11 +1366,14 @@ let sweep_idle t =
 (* Heartbeats.                                                         *)
 
 let heartbeat_targets t =
-  let seen = Hashtbl.create 32 in
-  Hashtbl.iter
-    (fun _ inst -> List.iter (fun n -> Hashtbl.replace seen n ()) (Query.neighbors inst.view))
-    t.instances;
-  Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare
+  (* The partner table already holds one refcount per (instance, distinct
+     neighbor) — install retains, remove/repair/adopt release through
+     [update_partner_refs] — so [refcount > 0] is exactly "neighbor of
+     some installed view". Folding it beats rebuilding the union of every
+     view's neighbor list on each tick; sorted for D3, same set, same
+     order as before. *)
+  Itbl.fold (fun n p acc -> if p.refcount > 0 then n :: acc else acc) t.partners []
+  |> List.sort compare
 
 let rec heartbeat_tick t =
   t.hb_counter <- t.hb_counter + 1;
@@ -1304,9 +1405,12 @@ let rec receive t ~src payload =
     handle_data t ~src ~query ~seqno ~tree ~summary ~visited ~path ~ttl_down
   | Msg.Heartbeat { digest = remote } -> (
     (* Make sure unsolicited heartbeats create a partner entry, so that the
-       sender's liveness is tracked symmetrically. *)
-    ignore (partner_of t src);
-    heard_from t src;
+       sender's liveness is tracked symmetrically. One lookup covers the
+       create + both liveness stamps ([heard_from] on a fresh entry). *)
+    let p = partner_of t src in
+    let local = now_local t in
+    p.last_heard <- local;
+    p.last_confirmed <- local;
     match remote with
     | Some d -> maybe_reconcile t ~src ~remote_digest:d
     | None -> ())
@@ -1373,7 +1477,7 @@ let create ?(config = default_config) rt =
       instances = Hashtbl.create 8;
       removed = Hashtbl.create 8;
       not_mine = Hashtbl.create 8;
-      partners = Hashtbl.create 32;
+      partners = Itbl.create 32;
       plans = Hashtbl.create 4;
       pending_views = Hashtbl.create 8;
       warmup = Hashtbl.create 8;
@@ -1392,6 +1496,7 @@ let create ?(config = default_config) rt =
       hb_counter = 0;
       hb_timer = None;
       digest_cache = None;
+      instances_sorted = None;
       n_results = 0;
       n_sent = 0;
       n_received = 0;
@@ -1435,7 +1540,7 @@ let crash t =
   Hashtbl.reset t.instances;
   Hashtbl.reset t.removed;
   Hashtbl.reset t.not_mine;
-  Hashtbl.reset t.partners;
+  Itbl.reset t.partners;
   Hashtbl.reset t.plans;
   Hashtbl.reset t.pending_views;
   Hashtbl.reset t.warmup;
@@ -1491,4 +1596,4 @@ let orphaned_for t ~query =
   Option.bind (Hashtbl.find_opt t.instances query) (fun inst ->
       Option.map (fun since -> now_local t -. since) inst.orphaned_since)
 
-let partner_count t = Hashtbl.length t.partners
+let partner_count t = Itbl.length t.partners

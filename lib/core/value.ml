@@ -35,6 +35,11 @@ let to_float = function
   | Float f -> f
   | v -> type_error "expected number, got %s" (show v)
 
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
 let to_int = function
   | Int i -> i
   | Float f -> int_of_float f

@@ -21,6 +21,11 @@ exception Type_error of string
 val to_float : t -> float
 (** Numeric coercion of [Int] and [Float]. @raise Type_error otherwise. *)
 
+val to_float_opt : t -> float option
+(** Total twin of {!to_float}: [None] for non-numeric values. For
+    observers (metrics, traces) that must never fail on structured
+    results like topk lists or trilat records. *)
+
 val to_int : t -> int
 
 val to_bool : t -> bool

@@ -1,22 +1,72 @@
 module Engine = Mortar_sim.Engine
 module Clock = Mortar_sim.Clock
+module Shard = Mortar_sim.Shard
+module Series = Mortar_sim.Series
 module Topology = Mortar_net.Topology
 module Transport = Mortar_net.Transport
 module Faults = Mortar_net.Faults
 module Peer = Mortar_core.Peer
 module Rng = Mortar_util.Rng
 module Obs = Mortar_obs.Obs
+module Par = Mortar_par.Par
+
+(* A cross-shard message after the send-side checks: what the destination
+   shard needs to finish delivery ({!Transport.deliver_msg}). *)
+type xmsg = {
+  x_src : int;
+  x_dst : int;
+  x_kind : string;
+  x_key : string option;
+  x_payload : Mortar_core.Msg.payload;
+}
+
+type shard = {
+  sid : int;
+  s_engine : Engine.t;
+  s_transport : Mortar_core.Msg.payload Transport.t;
+}
+
+type sharded = {
+  shards : shard array; (* one per populated stub domain of the topology *)
+  outboxes : xmsg Shard.outbox array; (* indexed by source shard *)
+  lookahead : float; (* min cross-stub latency; infinity when <= 1 stub *)
+  domains : int; (* execution width; never affects output *)
+  shard_of : int array; (* host -> logical shard *)
+  regs : Obs.Reg.t array; (* per-shard private Obs registries *)
+  ctl_reg : Obs.Reg.t; (* control-thread writes during an epoch loop *)
+  (* Where off-slice Obs writes go: [ctl_reg] inside [run_until] so each
+     flush only has to merge-sort the events of that run (the default
+     trace stays untouched and already ordered), [Obs.default] the rest
+     of the time. *)
+  mutable ctl_sink : Obs.Reg.t;
+}
+
+(* [Single] is the original one-engine deployment, byte-for-byte: every
+   direct-API test and its pinned expectations run through it unchanged.
+   [Sharded] partitions hosts by stub domain into per-shard engines
+   driven by a conservative epoch loop; the CLI experiments and the
+   scale bench use it. The two backends share the peer logic and all
+   the scenario machinery below. *)
+type backend =
+  | Single
+  | Sharded of sharded
 
 type t = {
-  engine : Engine.t;
+  engine : Engine.t; (* the control engine in sharded mode *)
   topo : Topology.t;
+  (* In sharded mode this is shard 0's instance: liveness, handlers and
+     duplicate memory are shared across instances, so the up/seen
+     manipulation below works identically for both backends. *)
   transport : Mortar_core.Msg.payload Transport.t;
   faults : Faults.t;
   clocks : Clock.t array;
   peers : Peer.t array;
   rng : Rng.t;
   mutable vivaldi : Mortar_coords.Vivaldi.system option;
+  backend : backend;
 }
+
+let default_domains = ref 1
 
 let make_runtime ~engine ~transport ~topo ~clock ~rng self : Peer.runtime =
   let local_time () = Clock.local_time clock ~now:(Engine.now engine) in
@@ -58,11 +108,106 @@ let create ?(seed = 42) ?(config = Peer.default_config) ?(loss = 0.0) ?offsets ?
      seeded run, faults or not. *)
   let faults = Faults.create ~hosts:n ~rng:(Rng.create (seed lxor 0x5f3759df)) () in
   Transport.set_faults transport faults;
-  { engine; topo; transport; faults; clocks; peers; rng; vivaldi = None }
+  { engine; topo; transport; faults; clocks; peers; rng; vivaldi = None; backend = Single }
+
+let create_sharded ?(seed = 42) ?(config = Peer.default_config) ?(loss = 0.0) ?offsets ?skews
+    ?domains topo =
+  let domains =
+    max 1 (match domains with Some d -> d | None -> !default_domains)
+  in
+  let n = Topology.hosts topo in
+  let nshards = Topology.stub_count topo in
+  let lookahead = Topology.lookahead topo in
+  let shard_of = Array.init n (fun h -> Topology.stub_of topo h) in
+  (* RNG derivation mirrors [create] exactly where streams are shared:
+     one split for the transport root, then per-peer splits in host
+     order — so peer behaviour is seed-compatible with the single
+     backend. Only the transport root is then re-split per shard (the
+     loss stream must be private to the deciding domain); with the
+     default [loss = 0.] no transport randomness is ever drawn. *)
+  let rng = Rng.create seed in
+  let engine = Engine.create () in
+  let engines = Array.init nshards (fun _ -> Engine.create ()) in
+  let t_root = Rng.split rng in
+  let t_rngs = Array.init nshards (fun _ -> Rng.split t_root) in
+  let outboxes = Array.init nshards (fun s -> Shard.create_outbox ~src_shard:s ~shards:nshards) in
+  let remote s ~deliver_at ~src ~dst ~kind ~key payload =
+    Shard.post outboxes.(s)
+      ~dst_shard:shard_of.(dst)
+      ~time:deliver_at
+      { x_src = src; x_dst = dst; x_kind = kind; x_key = key; x_payload = payload }
+  in
+  let transports =
+    Transport.create_sharded ~engines ~shard_of:(fun h -> shard_of.(h)) ~rngs:t_rngs ~remote
+      topo ~loss ()
+  in
+  let get arr i = match arr with Some a -> a.(i) | None -> 0.0 in
+  let clocks =
+    Array.init n (fun i -> Clock.create ~offset:(get offsets i) ~skew:(get skews i) ())
+  in
+  let peers =
+    Array.init n (fun i ->
+        let s = shard_of.(i) in
+        let rt =
+          make_runtime ~engine:engines.(s) ~transport:transports.(s) ~topo ~clock:clocks.(i)
+            ~rng:(Rng.split rng) i
+        in
+        Peer.create ~config rt)
+  in
+  Array.iteri
+    (fun i peer ->
+      Transport.register transports.(shard_of.(i)) i (fun ~src m -> Peer.receive peer ~src m))
+    peers;
+  (* Same root constant as [create]; the root table only installs and
+     heals conditions, each shard decides through a private view. *)
+  let fmaster = Rng.create (seed lxor 0x5f3759df) in
+  let faults = Faults.create ~hosts:n ~rng:fmaster () in
+  Array.iter
+    (fun tr -> Transport.set_faults tr (Faults.shard_view faults ~rng:(Rng.split fmaster)))
+    transports;
+  let regs = Array.init nshards (fun _ -> Obs.Reg.create ()) in
+  let shards =
+    Array.init nshards (fun sid -> { sid; s_engine = engines.(sid); s_transport = transports.(sid) })
+  in
+  let sh =
+    {
+      shards;
+      outboxes;
+      lookahead;
+      domains;
+      shard_of;
+      regs;
+      ctl_reg = Obs.Reg.create ();
+      ctl_sink = Obs.default;
+    }
+  in
+  (* Route Obs writes from inside a shard slice to that shard's private
+     registry; everything else (control events, setup) hits [ctl_sink].
+     Installed per deployment, but safe across several: a stale resolver
+     still returns [default] off-slice once its run loop has exited. *)
+  Obs.set_sink (fun () ->
+      match Par.Ctx.get () with Some sid -> sh.regs.(sid) | None -> sh.ctl_sink);
+  {
+    engine;
+    topo;
+    transport = transports.(0);
+    faults;
+    clocks;
+    peers;
+    rng;
+    vivaldi = None;
+    backend = Sharded sh;
+  }
 
 let engine t = t.engine
 
-let transport t = t.transport
+let transport t =
+  match t.backend with
+  | Single -> t.transport
+  | Sharded _ ->
+    invalid_arg
+      "Deployment.transport: sharded deployment has one transport per shard; use the \
+       aggregate accessors (total_bytes, bytes_series, kinds, messages_sent, ...)"
 
 let topology t = t.topo
 
@@ -72,11 +217,229 @@ let peer t i = t.peers.(i)
 
 let rng t = t.rng
 
-let now t = Engine.now t.engine
+(* Inside a shard's event slice, "now" is that shard's clock — peer
+   callbacks (e.g. the harness result hooks) read coherent local time;
+   everywhere else it is the control engine's. *)
+let now t =
+  match t.backend with
+  | Single -> Engine.now t.engine
+  | Sharded sh -> (
+    match Par.Ctx.get () with
+    | Some sid -> Engine.now sh.shards.(sid).s_engine
+    | None -> Engine.now t.engine)
 
-let run_until t time = Engine.run ~until:time t.engine
+(* ------------------------------------------------------------------ *)
+(* The conservative epoch loop (sharded backend).
+
+   Invariant: a cross-shard message sent at time E is delivered at
+   E + latency >= E + lookahead. So with [ns] = the earliest queued
+   event over all shards and [nc] = the control engine's earliest
+   event, every shard may run all events strictly before
+
+       bound = min (ns + lookahead) nc
+
+   without ever receiving a message in its past: anything a peer sends
+   during the epoch lands at >= ns + lookahead >= bound. Control
+   events (fault windows, crash scripts, experiment [at]-callbacks)
+   mutate peer and liveness state directly, so shards never run past
+   one: control fires inclusively at the barrier, between epochs, on
+   the caller's thread.
+
+   The epoch structure depends only on event times and the topology's
+   lookahead — never on [domains] — which is what makes `--shards N`
+   byte-identical to `--shards 1`. *)
+
+let min_next_shard sh =
+  Array.fold_left
+    (fun acc s ->
+      match Engine.next_time s.s_engine with Some x -> Float.min acc x | None -> acc)
+    infinity sh.shards
+
+(* Drain every mailbox at the barrier (single-threaded) and schedule the
+   messages on their destination engines in canonical
+   (time, src_shard, seq) order — the engine's FIFO tie-break then makes
+   same-instant deliveries fire in exactly that order. *)
+let drain_outboxes sh =
+  let nshards = Array.length sh.shards in
+  for d = 0 to nshards - 1 do
+    match Shard.drain sh.outboxes ~dst_shard:d with
+    | [] -> ()
+    | msgs ->
+      let s = sh.shards.(d) in
+      List.iter
+        (fun (st : xmsg Shard.stamped) ->
+          let m = st.Shard.msg in
+          ignore
+            (Engine.schedule_at s.s_engine ~at:st.Shard.time (fun () ->
+                 Transport.deliver_msg s.s_transport ~src:m.x_src ~dst:m.x_dst ~kind:m.x_kind
+                   ~key:m.x_key m.x_payload)))
+        msgs
+  done
+
+(* Run [f] over every shard, possibly on several domains, with the
+   domain-local context naming the shard so Obs writes and [now] resolve
+   to the right stream. The pool barrier gives the control thread a
+   happens-before edge over every shard mutation. *)
+let par_shards sh pool f =
+  Par.Pool.run pool ~n:(Array.length sh.shards) (fun i ->
+      Par.Ctx.set (Some i);
+      f sh.shards.(i);
+      Par.Ctx.set None)
+
+(* Fold the per-shard (and control) Obs registries into the default one
+   at the end of a run: counters and histograms add (order-insensitive),
+   and the traces — each chronological — are merged by the canonical
+   (time, shard, emission index) order, control first on ties, then
+   appended to the default trace. Events of successive runs never
+   interleave (a run's events are all stamped at or after the previous
+   run's target), so sorting one run's worth keeps the whole trace
+   ordered without ever re-touching it. Deterministic in the shard
+   partition, never in the domain count. *)
+let flush_obs sh =
+  if !Obs.enabled then begin
+    let tagged = ref [] in
+    List.iteri
+      (fun i (time, ev) -> tagged := (time, -1, i, ev) :: !tagged)
+      (Obs.Reg.drain_trace sh.ctl_reg);
+    Array.iteri
+      (fun s r ->
+        List.iteri (fun i (time, ev) -> tagged := (time, s, i, ev) :: !tagged)
+          (Obs.Reg.drain_trace r))
+      sh.regs;
+    let sorted =
+      List.sort
+        (fun (t1, s1, i1, _) (t2, s2, i2, _) ->
+          let c = Float.compare t1 t2 in
+          if c <> 0 then c
+          else
+            let c = compare s1 s2 in
+            if c <> 0 then c else compare i1 i2)
+        !tagged
+    in
+    List.iter (fun (time, _, _, ev) -> Obs.Reg.trace Obs.default ~t:time ev) sorted;
+    Obs.Reg.fold_into ~into:Obs.default sh.ctl_reg;
+    Array.iter (fun r -> Obs.Reg.fold_into ~into:Obs.default r) sh.regs
+  end
+
+let run_sharded t sh target =
+  let pool = Par.Pool.create ~domains:(min sh.domains (Array.length sh.shards)) in
+  sh.ctl_sink <- sh.ctl_reg;
+  Fun.protect
+    ~finally:(fun () ->
+      sh.ctl_sink <- Obs.default;
+      Par.Pool.shutdown pool)
+    (fun () ->
+      let continue_ = ref true in
+      while !continue_ do
+        let ns = min_next_shard sh in
+        let nc =
+          match Engine.next_time t.engine with Some x -> x | None -> infinity
+        in
+        if Float.min ns nc > target then begin
+          (* Nothing left at or before [target]: advance every clock. *)
+          par_shards sh pool (fun s -> Engine.run ~until:target s.s_engine);
+          Engine.run ~until:target t.engine;
+          continue_ := false
+        end
+        else begin
+          let bound = Float.min (ns +. sh.lookahead) nc in
+          if bound > target then begin
+            (* The whole remaining window fits in one epoch: every event
+               at or before [target] precedes [bound], and anything sent
+               lands past [target]. Finish inclusively. *)
+            par_shards sh pool (fun s -> Engine.run ~until:target s.s_engine);
+            drain_outboxes sh;
+            Engine.run ~until:target t.engine;
+            continue_ := false
+          end
+          else begin
+            par_shards sh pool (fun s -> Engine.run_before s.s_engine bound);
+            drain_outboxes sh;
+            (* Fires control events at exactly [bound] (if [nc = bound])
+               and keeps the control clock abreast of the shards. *)
+            Engine.run ~until:bound t.engine
+          end
+        end
+      done);
+  flush_obs sh
+
+let run_until t time =
+  match t.backend with
+  | Single -> Engine.run ~until:time t.engine
+  | Sharded sh -> run_sharded t sh time
 
 let at t time f = ignore (Engine.schedule_at t.engine ~at:time f)
+
+let shard_count t =
+  match t.backend with Single -> 1 | Sharded sh -> Array.length sh.shards
+
+let domains t = match t.backend with Single -> 1 | Sharded sh -> sh.domains
+
+let lookahead t =
+  match t.backend with Single -> 0.0 | Sharded sh -> sh.lookahead
+
+let engine_of_host t i =
+  match t.backend with
+  | Single -> t.engine
+  | Sharded sh -> sh.shards.(sh.shard_of.(i)).s_engine
+
+(* Aggregate transport accessors: in sharded mode the per-shard
+   instances each hold their own counters and bandwidth series, so the
+   deployment-level totals sum (or bucket-merge) across them. Every
+   experiment reads traffic through these rather than [transport]. *)
+
+let fold_transports t f acc =
+  match t.backend with
+  | Single -> f acc t.transport
+  | Sharded sh -> Array.fold_left (fun acc s -> f acc s.s_transport) acc sh.shards
+
+let on_deliver t f =
+  match t.backend with
+  | Single -> Transport.on_deliver t.transport f
+  | Sharded sh ->
+    (* Deliveries (including drained cross-shard ones) run on the
+       destination's instance, so the observer goes on every one. With
+       [domains > 1] it fires concurrently from several domains — keep
+       observers effect-free or confine them to one host's traffic. *)
+    Array.iter (fun s -> Transport.on_deliver s.s_transport f) sh.shards
+
+let messages_sent t = fold_transports t (fun acc tr -> acc + Transport.messages_sent tr) 0
+
+let messages_delivered t =
+  fold_transports t (fun acc tr -> acc + Transport.messages_delivered tr) 0
+
+let events_fired t =
+  let base = Engine.fired t.engine in
+  match t.backend with
+  | Single -> base
+  | Sharded sh -> Array.fold_left (fun acc s -> acc + Engine.fired s.s_engine) base sh.shards
+
+let total_bytes t = fold_transports t (fun acc tr -> acc +. Transport.total_bytes tr) 0.0
+
+let total_bytes_of_kind t ~kind =
+  fold_transports t (fun acc tr -> acc +. Transport.total_bytes_of_kind tr ~kind) 0.0
+
+let kinds t =
+  fold_transports t (fun acc tr -> List.rev_append (Transport.kinds tr) acc) []
+  |> List.sort_uniq compare
+
+let bytes_series t ~kind =
+  match t.backend with
+  | Single -> Transport.bytes_series t.transport ~kind
+  | Sharded sh ->
+    (* Transports are created with the default 1-second bucket, so the
+       merged series uses the same width. *)
+    Array.fold_left
+      (fun acc s ->
+        match Transport.bytes_series s.s_transport ~kind with
+        | None -> acc
+        | Some src ->
+          let dst =
+            match acc with Some d -> d | None -> Series.create ~bucket:1.0
+          in
+          Series.merge_into ~dst src;
+          Some dst)
+      None sh.shards
 
 let set_up t node up =
   if !Obs.enabled && Transport.is_up t.transport node <> up then
@@ -300,16 +663,28 @@ let inject t ~node ~stream ?true_slot value =
 
 let sensor t ~node ~stream ~period ?(jitter = 0.0) ?truth_slide value =
   assert (period > 0.0);
+  (* Ticks run on the node's shard engine, so jitter draws would race on
+     the deployment RNG across domains: sharded sensors split a private
+     stream up front (sequential, so it is a pure function of the
+     attachment order, not of the domain count). The single backend
+     keeps drawing from [t.rng] at tick time, byte-compatible with every
+     pinned run. *)
+  let engine = engine_of_host t node in
+  let jrng =
+    match t.backend with
+    | Single -> t.rng
+    | Sharded _ -> if jitter > 0.0 then Rng.split t.rng else t.rng
+  in
   let phase = Rng.float t.rng period in
   let counter = ref 0 in
   let rec tick () =
     let k = !counter in
     incr counter;
     let true_slot =
-      Option.map (fun slide -> Mortar_core.Index.slot ~slide (Engine.now t.engine)) truth_slide
+      Option.map (fun slide -> Mortar_core.Index.slot ~slide (Engine.now engine)) truth_slide
     in
     Peer.inject t.peers.(node) ~stream ?true_slot (value k);
-    let delay = period +. if jitter > 0.0 then Rng.uniform t.rng (-.jitter) jitter else 0.0 in
-    ignore (Engine.schedule t.engine ~after:(max 0.001 delay) tick)
+    let delay = period +. if jitter > 0.0 then Rng.uniform jrng (-.jitter) jitter else 0.0 in
+    ignore (Engine.schedule engine ~after:(max 0.001 delay) tick)
   in
-  ignore (Engine.schedule t.engine ~after:phase tick)
+  ignore (Engine.schedule engine ~after:phase tick)

@@ -81,7 +81,7 @@ let install_completeness ~hosts ~loss ~retries =
   let rng = Mortar_util.Rng.create 911 in
   let topo = Mortar_net.Topology.transit_stub rng ~transits:4 ~stubs:8 ~hosts () in
   let config = { Peer.default_config with Peer.hb_period = 1e6; ctl_retries = retries } in
-  let d = D.create ~seed:17 ~config ~loss topo in
+  let d = D.create_sharded ~seed:17 ~config ~loss topo in
   D.converge_coordinates d ();
   let nodes = Array.init (hosts - 1) (fun i -> i + 1) in
   let treeset = D.plan d ~bf:8 ~d:4 ~root:0 ~nodes () in

@@ -16,7 +16,7 @@ let one_run ~quick ~failure =
   let hosts = if quick then 240 else 680 in
   let rng = Mortar_util.Rng.create 1213 in
   let topo = Mortar_net.Topology.transit_stub rng ~transits:8 ~stubs:34 ~hosts () in
-  let d = D.create ~seed:121 topo in
+  let d = D.create_sharded ~seed:121 topo in
   D.converge_coordinates d ();
   let nodes = Array.init (hosts - 1) (fun i -> i + 1) in
   let treeset = D.plan d ~root:0 ~nodes () in

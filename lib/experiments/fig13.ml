@@ -15,7 +15,7 @@ let unique_children_per_node ~seed ~hosts ~queries ~degree =
       ~stubs:(max 4 (hosts / 20))
       ~hosts ()
   in
-  let d = D.create ~seed topo in
+  let d = D.create_sharded ~seed topo in
   D.converge_coordinates d ();
   (* children.(n) = set of unique children node n heartbeats, across all
      queries' tree sets. *)

@@ -26,7 +26,7 @@ let run ~quick =
   let trees_per_point = if quick then 10 else 30 in
   let rng = Mortar_util.Rng.create 777 in
   let topo = Mortar_net.Topology.transit_stub rng ~transits:8 ~stubs:34 ~hosts () in
-  let d = D.create ~seed:77 topo in
+  let d = D.create_sharded ~seed:77 topo in
   D.converge_coordinates d ();
   let coords = D.coordinates d in
   let bfs = [ 2; 4; 8; 16; 32 ] in

@@ -44,7 +44,7 @@ let one_run ~flat ~quick =
   (* Host 0 is the query root (a monitoring server); sniffer i lives on
      host i+1. Star topology with 1 ms links, as in §7.4. *)
   let topo = Mortar_net.Topology.star ~link_delay:0.001 ~hosts in
-  let d = D.create ~seed:99 topo in
+  let d = D.create_sharded ~seed:99 topo in
   D.converge_coordinates d ();
   let statements = Msl.parse (if flat then program_flat else program) in
   let metas = Msl.query_metas statements ~root:0 ~total_nodes:hosts () in
@@ -128,7 +128,7 @@ let one_run ~flat ~quick =
   {
     estimates;
     mean_error = Mortar_util.Stats.mean (Array.of_list errors);
-    data_bytes = Mortar_net.Transport.total_bytes (D.transport d);
+    data_bytes = D.total_bytes d;
   }
 
 let run ~quick =

@@ -35,7 +35,7 @@ let create ?(seed = 42) ?(hosts = 680) ?(transits = 8) ?(stubs = 34) ?(bf = 16) 
     ?(track_provenance = false) ?offsets ?skews ?config ?(install_at = 1.0) () =
   let rng = Mortar_util.Rng.create (seed * 7919) in
   let topo = Mortar_net.Topology.transit_stub rng ~transits ~stubs ~hosts () in
-  let d = D.create ~seed ?config ?offsets ?skews topo in
+  let d = D.create_sharded ~seed ?config ?offsets ?skews topo in
   D.converge_coordinates d ();
   let nodes = Array.init (hosts - 1) (fun i -> i + 1) in
   let treeset = D.plan d ?style ~bf ~d:degree ~root:0 ~nodes () in
@@ -177,16 +177,11 @@ let bytes_between series t0 t1 =
   | Some s -> Mortar_sim.Series.sum_between s t0 t1
 
 let kind_mbps t ~kind t0 t1 =
-  let transport = D.transport t.d in
-  let bytes = bytes_between (Mortar_net.Transport.bytes_series transport ~kind) t0 t1 in
+  let bytes = bytes_between (D.bytes_series t.d ~kind) t0 t1 in
   bytes *. 8.0 /. (t1 -. t0) /. 1e6
 
 let data_mbps t t0 t1 =
-  let transport = D.transport t.d in
-  List.fold_left
-    (fun acc kind -> acc +. kind_mbps t ~kind t0 t1)
-    0.0
-    (Mortar_net.Transport.kinds transport)
+  List.fold_left (fun acc kind -> acc +. kind_mbps t ~kind t0 t1) 0.0 (D.kinds t.d)
 
 let mean_completeness t t0 t1 ~denominator =
   let rows = results_between t t0 t1 in

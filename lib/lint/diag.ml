@@ -2,7 +2,7 @@
    Rendering is one line per finding so golden tests can diff output. *)
 
 type t = {
-  code : string; (* "D1".."D5" *)
+  code : string; (* "D1".."D6" *)
   file : string;
   line : int;
   col : int;

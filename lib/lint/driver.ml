@@ -39,6 +39,11 @@ let parse_impl path text =
 (* The bench timing harness is the only module allowed on the wall clock. *)
 let wallclock_allowed path = Filename.basename path = "bench_clock.ml"
 
+(* lib/par is the sanctioned parallel runtime: the one place raw
+   Domain/Atomic/Mutex/Condition use is deliberate (and shadowed by a
+   sequential fallback on OCaml 4). *)
+let multicore_allowed path = Filename.basename (Filename.dirname path) = "par"
+
 type report = {
   findings : Diag.t list; (* unsuppressed, not in baseline: these fail the build *)
   baselined : Diag.t list; (* present but grandfathered by the baseline file *)
@@ -70,7 +75,8 @@ let run ?baseline_file ~paths () =
       (fun (live, base) (file, text, ast) ->
         let suppressions = Suppress.of_source text in
         let diags =
-          Rules.run_rules env ~allow_wallclock:(wallclock_allowed file) ast
+          Rules.run_rules env ~allow_wallclock:(wallclock_allowed file)
+            ~allow_multicore:(multicore_allowed file) ast
           |> List.filter (fun (d : Diag.t) ->
                  not (Suppress.allows suppressions ~line:d.line ~code:d.code))
         in

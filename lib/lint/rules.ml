@@ -1,4 +1,4 @@
-(* The five mortar-lint rules, implemented as one Ast_iterator pass per
+(* The six mortar-lint rules, implemented as one Ast_iterator pass per
    file over the Parsetree (compiler-libs.common only — no typing, so
    every rule is syntactic and errs on the side of precision; anything
    it cannot see, it does not flag).
@@ -22,6 +22,13 @@
        value annotated with a float-record type, or a projection of a
        known float field). Polymorphic comparison of floats breaks
        under NaN and under representation changes.
+
+   D6  raw multicore primitives (Domain, Domain.DLS, Atomic, Mutex,
+       Condition, Semaphore) outside the sanctioned parallel runtime
+       (lib/par). Shared mutable state touched from a stray
+       Domain.spawn bypasses the epoch barrier that makes the sharded
+       simulation deterministic; everything else must go through
+       Par.Pool / Par.Ctx, whose fallback build is sequential.
 
    D5 needs a cross-file phase 1: [collect_types] gathers every record
    type declaring a float(ish) field, over all files in the run, before
@@ -77,6 +84,7 @@ let collect_types env (str : structure) =
 type ctx = {
   env : type_env;
   allow_wallclock : bool; (* the bench clock module may read the wall clock *)
+  allow_multicore : bool; (* lib/par may use Domain/Atomic/Mutex directly *)
   mutable sorted_depth : int; (* > 0 while under a sort application *)
   mutable out : Diag.t list;
 }
@@ -167,6 +175,13 @@ let check_expr ctx (e : expression) =
         (Printf.sprintf
            "global randomness '%s'%s; all randomness must flow through the seeded Util.Rng"
            name extra)
+    | ("Domain" | "Atomic" | "Mutex" | "Condition" | "Semaphore") :: _ :: _
+      when not ctx.allow_multicore ->
+      add ctx ~code:"D6" ~loc
+        (Printf.sprintf
+           "raw multicore primitive '%s' outside lib/par; shared state crossing domains \
+            bypasses the deterministic epoch barrier — use Par.Pool / Par.Ctx"
+           (String.concat "." (Longident.flatten txt)))
     | _ -> ())
   | Pexp_try (_, cases) ->
     List.iter
@@ -200,8 +215,8 @@ let check_expr ctx (e : expression) =
     | _ -> ())
   | _ -> ())
 
-let run_rules env ~allow_wallclock (str : structure) =
-  let ctx = { env; allow_wallclock; sorted_depth = 0; out = [] } in
+let run_rules env ~allow_wallclock ~allow_multicore (str : structure) =
+  let ctx = { env; allow_wallclock; allow_multicore; sorted_depth = 0; out = [] } in
   let expr it (e : expression) =
     check_expr ctx e;
     let under_sort =

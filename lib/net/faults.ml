@@ -12,24 +12,24 @@ type scope = { a : bool array; b : bool array; sym : bool }
 type effect_ =
   | Cut
   | Loss of float
-  | Bursty of {
-      p_enter : float;
-      p_exit : float;
-      loss_good : float;
-      loss_bad : float;
-      state : (int * int, bool ref) Hashtbl.t; (* (src, dst) -> in bad state *)
-    }
+  | Bursty of { p_enter : float; p_exit : float; loss_good : float; loss_bad : float }
   | Delay of { extra : float; prob : float }
 
 type condition = { cid : id; scope : scope; eff : effect_ }
 
+(* The condition list and id counter live behind refs shared by every
+   shard view (below): a fault window installed by the control schedule
+   is visible to all shards, while randomness, Gilbert–Elliott chain
+   state and drop counters stay per-view so concurrent shards never race
+   and each shard's draw stream is independent of the others. *)
 type t = {
   hosts : int;
   rng : Rng.t;
   (* An association list keeps evaluation order deterministic (insertion
      order) and is cheap at the handful of conditions a scenario uses. *)
-  mutable conditions : condition list; (* oldest first *)
-  mutable next_id : int;
+  conditions : condition list ref; (* oldest first *)
+  next_id : int ref;
+  bursty_state : (int * int * int, bool ref) Hashtbl.t; (* (cid, src, dst) -> in bad state *)
   mutable cut_drops : int;
   mutable loss_drops : int;
   mutable delayed : int;
@@ -39,8 +39,21 @@ let create ~hosts ~rng () =
   {
     hosts;
     rng;
-    conditions = [];
-    next_id = 0;
+    conditions = ref [];
+    next_id = ref 0;
+    bursty_state = Hashtbl.create 64;
+    cut_drops = 0;
+    loss_drops = 0;
+    delayed = 0;
+  }
+
+let shard_view t ~rng =
+  {
+    hosts = t.hosts;
+    rng;
+    conditions = t.conditions;
+    next_id = t.next_id;
+    bursty_state = Hashtbl.create 64;
     cut_drops = 0;
     loss_drops = 0;
     delayed = 0;
@@ -58,10 +71,10 @@ let set_of t members =
   s
 
 let add t scope eff =
-  let cid = t.next_id in
-  t.next_id <- t.next_id + 1;
+  let cid = !(t.next_id) in
+  t.next_id := cid + 1;
   (* Appended so the hot [decide] path walks install order directly. *)
-  t.conditions <- t.conditions @ [ { cid; scope; eff } ];
+  t.conditions := !(t.conditions) @ [ { cid; scope; eff } ];
   cid
 
 let cut t ~src ~dst = add t { a = set_of t src; b = set_of t dst; sym = false } Cut
@@ -79,16 +92,16 @@ let loss t ?(sym = false) ~src ~dst ~rate () =
 let bursty t ?(sym = false) ?(loss_good = 0.0) ~src ~dst ~p_enter ~p_exit ~loss_bad () =
   add t
     { a = set_of t src; b = set_of t dst; sym }
-    (Bursty { p_enter; p_exit; loss_good; loss_bad; state = Hashtbl.create 64 })
+    (Bursty { p_enter; p_exit; loss_good; loss_bad })
 
 let jitter t ?(sym = false) ?(prob = 1.0) ~src ~dst ~extra () =
   add t { a = set_of t src; b = set_of t dst; sym } (Delay { extra; prob })
 
-let clear t cid = t.conditions <- List.filter (fun c -> c.cid <> cid) t.conditions
+let clear t cid = t.conditions := List.filter (fun c -> c.cid <> cid) !(t.conditions)
 
-let clear_all t = t.conditions <- []
+let clear_all t = t.conditions := []
 
-let active t = List.length t.conditions
+let active t = List.length !(t.conditions)
 
 let in_scope s ~src ~dst = (s.a.(src) && s.b.(dst)) || (s.sym && s.a.(dst) && s.b.(src))
 
@@ -109,13 +122,13 @@ let apply t ~src ~dst acc c =
         { acc with drop = true }
       end
       else acc
-    | Bursty { p_enter; p_exit; loss_good; loss_bad; state } ->
+    | Bursty { p_enter; p_exit; loss_good; loss_bad } ->
       let bad =
-        match Hashtbl.find_opt state (src, dst) with
+        match Hashtbl.find_opt t.bursty_state (c.cid, src, dst) with
         | Some r -> r
         | None ->
           let r = ref false in
-          Hashtbl.replace state (src, dst) r;
+          Hashtbl.replace t.bursty_state (c.cid, src, dst) r;
           r
       in
       (* Advance the chain one step per message, then sample the state's
@@ -140,7 +153,7 @@ let apply t ~src ~dst acc c =
       else acc
 
 let decide t ~src ~dst =
-  match t.conditions with
+  match !(t.conditions) with
   | [] -> pass
   | conditions ->
     List.fold_left (fun acc c -> if acc.drop then acc else apply t ~src ~dst acc c) pass

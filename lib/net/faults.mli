@@ -39,6 +39,17 @@ val create : hosts:int -> rng:Mortar_util.Rng.t -> unit -> t
 (** A fault table over hosts [0 .. hosts - 1] with no active
     conditions. *)
 
+val shard_view : t -> rng:Mortar_util.Rng.t -> t
+(** A per-shard view of the same fault table: the condition set (and id
+    counter) is shared — install/{!clear} through any view and all see
+    it — while randomness, Gilbert–Elliott chain state and the drop
+    counters are private to the view. The sharded transport gives each
+    shard its own view so concurrent {!decide} calls never race and each
+    shard's draw stream is independent of the domain count. Chains
+    become per (condition, src, dst, {e deciding shard}); since a given
+    (src, dst) pair is always decided by src's shard, per-pair chain
+    semantics are preserved. *)
+
 val hosts : t -> int
 
 (** {1 Installing conditions}
@@ -91,6 +102,10 @@ val active : t -> int
 (** Number of currently active conditions. *)
 
 (** {1 The transport hook} *)
+
+val pass : decision
+(** The no-op decision: not dropped, no extra delay. Shared so the
+    no-faults send path allocates nothing. *)
 
 val decide : t -> src:int -> dst:int -> decision
 (** Evaluate every active condition against one message. Advances

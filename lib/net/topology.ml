@@ -161,6 +161,37 @@ let max_latency t = t.max_lat
 
 let stub_of t h = t.stub.(h)
 
+let stub_count t =
+  (* Stub ids are dense from 0; the partition size is max id + 1 over the
+     hosts actually present (trailing empty stubs don't need shards). *)
+  Array.fold_left (fun acc s -> max acc (s + 1)) 1 t.stub
+
+(* Smallest host-to-host latency between different stub domains: the
+   lookahead of the conservative parallel engine. Every cross-shard
+   message is in flight for at least this long, so a shard may safely
+   run [lookahead] past the global minimum next-event time. Host pairs
+   collapse to router pairs (all hosts of a stub share one router,
+   and [r_lat] already folds in the source access link), so this is an
+   O(S^2) scan over representative routers. [infinity] when at most one
+   stub is populated (star topologies): there is nothing to overlap. *)
+let lookahead t =
+  let nr = Array.length t.r_lat in
+  let rep = Array.make (stub_count t) (-1) in
+  Array.iteri (fun h r -> rep.(t.stub.(h)) <- r) t.attach;
+  let best = ref infinity in
+  Array.iteri
+    (fun sa ra ->
+      if ra >= 0 && ra < nr then
+        Array.iteri
+          (fun sb rb ->
+            if sb <> sa && rb >= 0 then begin
+              let l = t.r_lat.(ra).(rb) +. t.access in
+              if l < !best then best := l
+            end)
+          rep)
+    rep;
+  !best
+
 let routers t = Array.length t.r_lat
 
 let attachment t h = t.attach.(h)

@@ -63,6 +63,17 @@ val max_latency : t -> float
 val stub_of : t -> host -> int
 (** Index of the stub domain hosting a host ([0] for {!star}). *)
 
+val stub_count : t -> int
+(** Size of the stub partition: [1 + max stub_of] over all hosts. The
+    sharded simulation runtime creates one logical shard per stub, so
+    this — not the domain count — fixes the logical decomposition. *)
+
+val lookahead : t -> float
+(** Smallest host-to-host latency between two {e different} stub
+    domains — the conservative engine's lookahead: any cross-stub
+    message is in flight at least this long. [infinity] when at most
+    one stub is populated ({!star}: no cross-shard traffic exists). *)
+
 (** {2 Router-level introspection}
 
     Used by equivalence tests (router matrices vs. brute-force per-host

@@ -13,6 +13,15 @@ type seen = {
    duplicate memory) lives in flat arrays rather than hash tables: the
    send/deliver path is the innermost loop of every experiment and at
    10k hosts the hashing dominated it. *)
+type 'a remote =
+  deliver_at:float ->
+  src:Topology.host ->
+  dst:Topology.host ->
+  kind:string ->
+  key:string option ->
+  'a ->
+  unit
+
 type 'a t = {
   engine : Mortar_sim.Engine.t;
   topo : Topology.t;
@@ -27,12 +36,24 @@ type 'a t = {
   mutable up_alive : int; (* invariant: number of [true] slots in [up] *)
   seen : seen option array;
   by_kind : (string, Mortar_sim.Series.t) Hashtbl.t;
-  (* Single-slot memo for [account]: almost every send reuses the
-     previous send's kind, so the common case skips the hash lookup. *)
+  (* Two-slot memo for [account]: steady-state traffic interleaves two
+     kinds (data and heartbeat), so a single-slot cache thrashed on
+     every other send. Slot 1 is the most recent hit. *)
   mutable kind_cache : (string * Mortar_sim.Series.t) option;
+  mutable kind_cache2 : (string * Mortar_sim.Series.t) option;
   mutable sent : int;
   mutable delivered : int;
+  (* Sharded mode: this instance serves the hosts of one logical shard.
+     A send whose destination maps to another shard is handed to
+     [remote] (the deployment's outbox) instead of scheduled locally;
+     [up]/[handlers]/[seen] are shared across all sibling instances
+     (indexed by host, each slot touched only by its owner shard). *)
+  shard : int; (* -1 = unsharded *)
+  shard_of : Topology.host -> int;
+  remote : 'a remote option;
 }
+
+let no_shard (_ : Topology.host) = -1
 
 let create engine topo ?(loss = 0.0) ?(bucket = 1.0) ?(seen_cap = 4096) ?faults ~rng () =
   let n = Topology.hosts topo in
@@ -51,9 +72,45 @@ let create engine topo ?(loss = 0.0) ?(bucket = 1.0) ?(seen_cap = 4096) ?faults 
     seen = Array.make n None;
     by_kind = Hashtbl.create 8;
     kind_cache = None;
+    kind_cache2 = None;
     sent = 0;
     delivered = 0;
+    shard = -1;
+    shard_of = no_shard;
+    remote = None;
   }
+
+let create_sharded ~engines ~shard_of ~rngs ~remote topo ?(loss = 0.0) ?(bucket = 1.0)
+    ?(seen_cap = 4096) () =
+  let n = Topology.hosts topo in
+  let up = Array.make n true in
+  let handlers = Array.make n None in
+  let seen = Array.make n None in
+  Array.init (Array.length engines) (fun s ->
+      {
+        engine = engines.(s);
+        topo;
+        loss;
+        bucket;
+        seen_cap = max 1 seen_cap;
+        rng = rngs.(s);
+        faults = None;
+        handlers;
+        observers = [||];
+        up;
+        (* Meaningful only on instance 0: the deployment routes every
+           [set_up] through it, so its count tracks the shared array. *)
+        up_alive = n;
+        seen;
+        by_kind = Hashtbl.create 8;
+        kind_cache = None;
+        kind_cache2 = None;
+        sent = 0;
+        delivered = 0;
+        shard = s;
+        shard_of;
+        remote = Some (remote s);
+      })
 
 let register t host f = t.handlers.(host) <- Some f
 
@@ -78,17 +135,24 @@ let account t ~kind ~bytes =
   let series =
     match t.kind_cache with
     | Some (k, s) when String.equal k kind -> s
-    | _ ->
-      let s =
-        match Hashtbl.find_opt t.by_kind kind with
-        | Some s -> s
-        | None ->
-          let s = Mortar_sim.Series.create ~bucket:t.bucket in
-          Hashtbl.replace t.by_kind kind s;
-          s
-      in
-      t.kind_cache <- Some (kind, s);
-      s
+    | slot1 ->
+      (match t.kind_cache2 with
+      | Some (k, s) when String.equal k kind ->
+        t.kind_cache2 <- slot1;
+        t.kind_cache <- Some (kind, s);
+        s
+      | _ ->
+        let s =
+          match Hashtbl.find_opt t.by_kind kind with
+          | Some s -> s
+          | None ->
+            let s = Mortar_sim.Series.create ~bucket:t.bucket in
+            Hashtbl.replace t.by_kind kind s;
+            s
+        in
+        t.kind_cache2 <- slot1;
+        t.kind_cache <- Some (kind, s);
+        s)
   in
   Mortar_sim.Series.incr series ~time:(Mortar_sim.Engine.now t.engine) bytes
 
@@ -120,6 +184,45 @@ let seen_keys t ~dst =
    are never suppressed by this: senders' keys are globally unique. *)
 let clear_seen t ~dst = t.seen.(dst) <- None
 
+(* Delivery-time half of [send]. Split out of the in-flight closure so
+   the sharded deployment can invoke it directly when a cross-shard
+   message drains from an outbox into the destination shard's engine —
+   [t] is then the {e destination} shard's instance, so its counters and
+   duplicate memory are the ones that see the message. *)
+let deliver_msg t ~src ~dst ~kind ~key payload =
+  (* Only the destination's liveness matters at delivery time: a
+     datagram already in flight outlives its sender's crash. *)
+  if t.up.(dst) then begin
+    let dup = match key with Some k -> duplicate t ~dst ~key:k | None -> false in
+    if dup then begin
+      if !Obs.enabled then begin
+        Obs.incr "transport.dup_suppressed";
+        Obs.trace
+          ~t:(Mortar_sim.Engine.now t.engine)
+          (Obs.Dup_suppressed { dst; kind })
+      end
+    end
+    else
+      match t.handlers.(dst) with
+      | Some f ->
+        t.delivered <- t.delivered + 1;
+        if !Obs.enabled then begin
+          Obs.incr "transport.delivered";
+          Obs.trace
+            ~t:(Mortar_sim.Engine.now t.engine)
+            (Obs.Tuple_recv { src; dst; kind })
+        end;
+        Array.iter (fun obs -> obs ~src ~dst ~kind) t.observers;
+        f ~src payload
+      | None -> ()
+  end
+  else if !Obs.enabled then begin
+    Obs.incr "transport.dropped.down_at_delivery";
+    Obs.trace
+      ~t:(Mortar_sim.Engine.now t.engine)
+      (Obs.Tuple_drop { src; dst; kind; reason = "down_at_delivery" })
+  end
+
 (* The branch structure below mirrors the old short-circuit condition
    exactly — the loss draw happens only when both endpoints are up, and
    [Faults.decide] only when the loss draw passes — so seeded replays
@@ -145,7 +248,7 @@ let send t ~src ~dst ~size ?(kind = "data") ?key payload =
   else begin
     let verdict =
       match t.faults with
-      | None -> { Faults.drop = false; extra_delay = 0.0 }
+      | None -> Faults.pass
       | Some f -> Faults.decide f ~src ~dst
     in
     if verdict.Faults.drop then begin
@@ -166,41 +269,17 @@ let send t ~src ~dst ~size ?(kind = "data") ?key payload =
           (Obs.Tuple_send { src; dst; kind; size })
       end;
       let delay = Topology.latency t.topo src dst +. verdict.Faults.extra_delay in
-      let deliver () =
-        (* Only the destination's liveness matters at delivery time: a
-           datagram already in flight outlives its sender's crash. *)
-        if t.up.(dst) then begin
-          let dup = match key with Some k -> duplicate t ~dst ~key:k | None -> false in
-          if dup then begin
-            if !Obs.enabled then begin
-              Obs.incr "transport.dup_suppressed";
-              Obs.trace
-                ~t:(Mortar_sim.Engine.now t.engine)
-                (Obs.Dup_suppressed { dst; kind })
-            end
-          end
-          else
-            match t.handlers.(dst) with
-            | Some f ->
-              t.delivered <- t.delivered + 1;
-              if !Obs.enabled then begin
-                Obs.incr "transport.delivered";
-                Obs.trace
-                  ~t:(Mortar_sim.Engine.now t.engine)
-                  (Obs.Tuple_recv { src; dst; kind })
-              end;
-              Array.iter (fun obs -> obs ~src ~dst ~kind) t.observers;
-              f ~src payload
-            | None -> ()
-        end
-        else if !Obs.enabled then begin
-          Obs.incr "transport.dropped.down_at_delivery";
-          Obs.trace
-            ~t:(Mortar_sim.Engine.now t.engine)
-            (Obs.Tuple_drop { src; dst; kind; reason = "down_at_delivery" })
-        end
-      in
-      ignore (Mortar_sim.Engine.schedule t.engine ~after:delay deliver)
+      match t.remote with
+      | Some post when t.shard_of dst <> t.shard ->
+        (* Cross-shard: hand the message to the deployment's outbox
+           rather than this engine. The lookahead bound guarantees
+           [deliver_at] is still in the destination shard's future, and
+           the outbox drain gives the merge a canonical total order. *)
+        post ~deliver_at:(Mortar_sim.Engine.now t.engine +. delay) ~src ~dst ~kind ~key payload
+      | _ ->
+        ignore
+          (Mortar_sim.Engine.schedule t.engine ~after:delay (fun () ->
+               deliver_msg t ~src ~dst ~kind ~key payload))
     end
   end
 

@@ -34,6 +34,52 @@ val create :
     [4096] keys, oldest forgotten first); [faults] attaches a fault
     table consulted on every send. *)
 
+type 'a remote =
+  deliver_at:float ->
+  src:Topology.host ->
+  dst:Topology.host ->
+  kind:string ->
+  key:string option ->
+  'a ->
+  unit
+(** A cross-shard post: a message that survived the send-side checks
+    (liveness, loss, faults, accounting) and must be delivered on another
+    shard's engine at absolute time [deliver_at]. *)
+
+val create_sharded :
+  engines:Mortar_sim.Engine.t array ->
+  shard_of:(Topology.host -> int) ->
+  rngs:Mortar_util.Rng.t array ->
+  remote:(int -> 'a remote) ->
+  Topology.t ->
+  ?loss:float ->
+  ?bucket:float ->
+  ?seen_cap:int ->
+  unit ->
+  'a t array
+(** One transport instance per logical shard, sharing a single
+    liveness/handler/duplicate-memory store (indexed by host; each slot
+    is only ever touched from its owner shard's domain, or from the
+    control thread at an epoch barrier). Instance [s] runs on
+    [engines.(s)] and draws from [rngs.(s)]; a send whose destination
+    lives on another shard is handed to [remote s] instead of being
+    scheduled locally. Route every {!set_up} through instance [0] so its
+    {!up_count} tracks the shared array; {!register} on the owning
+    instance. Fault tables are attached per instance ({!Faults.shard_view}). *)
+
+val deliver_msg :
+  'a t ->
+  src:Topology.host ->
+  dst:Topology.host ->
+  kind:string ->
+  key:string option ->
+  'a ->
+  unit
+(** Delivery-time half of {!send}: destination-liveness check, duplicate
+    suppression, handler dispatch. Exposed for the sharded deployment,
+    which calls it on the {e destination} shard's instance when draining
+    cross-shard outboxes; single-engine users never need it. *)
+
 val register : 'a t -> Topology.host -> (src:Topology.host -> 'a -> unit) -> unit
 (** Install the delivery handler for a host; replaces any previous one. *)
 

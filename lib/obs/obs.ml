@@ -234,6 +234,49 @@ module Reg = struct
 
   let trace_dropped t = t.dropped
 
+  let drain_trace t =
+    let evs = List.rev t.trace_rev in
+    t.trace_rev <- [];
+    t.trace_len <- 0;
+    evs
+
+  (* Merge [src] into [into] and reset [src]: counters and histograms
+     add, gauges overwrite (callers fold shards in a fixed order, so the
+     last writer is deterministic). Used by the sharded runtime to fold
+     per-shard registries into the dumped one at epoch-loop exits;
+     folding then clearing means repeated folds never double-count. *)
+  let fold_into ~into src =
+    Hashtbl.iter
+      (fun key m ->
+        match (m, Hashtbl.find_opt into.metrics key) with
+        | Counter r, Some (Counter r') -> r' := !r' + !r
+        | Counter r, None -> Hashtbl.replace into.metrics key (Counter (ref !r))
+        | Gauge r, Some (Gauge r') -> r' := !r
+        | Gauge r, None -> Hashtbl.replace into.metrics key (Gauge (ref !r))
+        | Hist h, Some (Hist h') ->
+          if Array.length h.edges <> Array.length h'.edges
+             || not (Array.for_all2 (fun a b -> Float.equal a b) h.edges h'.edges)
+          then mismatch (snd key);
+          Array.iteri (fun i c -> h'.counts.(i) <- h'.counts.(i) + c) h.counts;
+          h'.overflow <- h'.overflow + h.overflow;
+          h'.sum <- h'.sum +. h.sum;
+          h'.count <- h'.count + h.count
+        | Hist h, None ->
+          Hashtbl.replace into.metrics key
+            (Hist
+               {
+                 edges = Array.copy h.edges;
+                 counts = Array.copy h.counts;
+                 overflow = h.overflow;
+                 sum = h.sum;
+                 count = h.count;
+               })
+        | _, Some _ -> mismatch (snd key))
+      src.metrics;
+    into.dropped <- into.dropped + src.dropped;
+    Hashtbl.reset src.metrics;
+    src.dropped <- 0
+
   (* ---------------------------------------------------------------- *)
   (* JSON-lines dumps.                                                 *)
 
@@ -342,13 +385,25 @@ let enabled = ref false
 
 let default = Reg.create ()
 
-let incr ?scope ?by name = if !enabled then Reg.incr default ?scope ?by name
+(* Where the module-level wrappers write. The resolver indirection lets
+   the sharded runtime route instrumentation to a per-shard registry
+   (keyed off a domain-local context) while everything else — including
+   all single-engine deployments — keeps hitting [default]. Installed
+   once at startup by the sharded deployment; never called concurrently
+   with itself (each resolver invocation is on the domain doing the
+   write). *)
+let sink : (unit -> Reg.t) ref = ref (fun () -> default)
 
-let set_gauge ?scope name v = if !enabled then Reg.set_gauge default ?scope name v
+let set_sink f = sink := f
 
-let observe ?scope ?buckets name v = if !enabled then Reg.observe default ?scope ?buckets name v
+let incr ?scope ?by name = if !enabled then Reg.incr (!sink ()) ?scope ?by name
 
-let trace ~t ev = if !enabled then Reg.trace default ~t ev
+let set_gauge ?scope name v = if !enabled then Reg.set_gauge (!sink ()) ?scope name v
+
+let observe ?scope ?buckets name v =
+  if !enabled then Reg.observe (!sink ()) ?scope ?buckets name v
+
+let trace ~t ev = if !enabled then Reg.trace (!sink ()) ~t ev
 
 let write_lines path lines =
   let oc = open_out path in

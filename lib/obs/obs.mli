@@ -145,6 +145,18 @@ module Reg : sig
 
   val trace_dropped : t -> int
 
+  val drain_trace : t -> (float * event) list
+  (** Oldest first, and empties the trace (the dropped count stays). The
+      sharded runtime drains per-shard traces at epoch-loop exits and
+      re-emits them into the dump registry in canonical order. *)
+
+  val fold_into : into:t -> t -> unit
+  (** Merge and reset: counters and histograms from the source add into
+      [into], gauges overwrite, and the source registry is cleared so
+      repeated folds never double-count. Histogram bucket mismatches
+      raise [Invalid_argument]. The source's trace is untouched — drain
+      it explicitly. *)
+
   (** {2 JSON-lines dumps} *)
 
   val metrics_lines : t -> string list
@@ -167,6 +179,15 @@ val enabled : bool ref
     numbers are produced with observability disabled. *)
 
 val default : Reg.t
+
+val set_sink : (unit -> Reg.t) -> unit
+(** Route the module-level wrappers below through a resolver instead of
+    straight to {!default}. The sharded simulation runtime installs a
+    resolver that returns the current shard's private registry when
+    called from inside a shard's event slice (via a domain-local
+    context) and {!default} otherwise, so per-shard instrumentation
+    never races across domains. The resolver must be cheap — it runs on
+    every enabled write. *)
 
 val incr : ?scope:scope -> ?by:int -> string -> unit
 val set_gauge : ?scope:scope -> string -> float -> unit

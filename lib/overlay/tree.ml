@@ -5,6 +5,7 @@ type t = {
   parent : (node, node) Hashtbl.t; (* no binding for root *)
   children : (node, node list) Hashtbl.t;
   level : (node, int) Hashtbl.t;
+  height : int; (* max level, fixed at construction *)
 }
 
 let root t = t.root
@@ -35,7 +36,10 @@ let nodes t =
 
 let size t = 1 + Hashtbl.length t.parent
 
-let height t = Hashtbl.fold (fun _ l acc -> max l acc) t.level 0
+(* Precomputed at construction: [view_of_treeset] reads the height for
+   every member during installs, and an O(n) fold here made chunk
+   planning O(n^2). *)
+let height t = t.height
 
 let is_leaf t n = children t n = []
 
@@ -78,12 +82,12 @@ let of_parents ~root edge_list =
      hash-ordered, and child order is simulation-visible (send order). *)
   Hashtbl.filter_map_inplace (fun _ cs -> Some (List.sort compare cs)) children;
   let level = compute_levels ~root ~parent ~children in
-  let t = { root; parent; children; level } in
+  let height = Hashtbl.fold (fun _ l acc -> max l acc) level 0 in
+  let t = { root; parent; children; level; height } in
   if !Obs.enabled then begin
     Obs.incr "overlay.trees_built";
-    (* height is an O(n) fold over [level]; only paid when observing. *)
     Obs.observe ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |] "overlay.tree_height"
-      (float_of_int (height t))
+      (float_of_int height)
   end;
   t
 

@@ -1,0 +1,33 @@
+(* OCaml 4.14 backend: no domains, no threads. Same signature as
+   par_multicore.ml; Pool.run executes every item on the calling thread
+   in index order, and Ctx is a plain ref (a single thread cannot see
+   anyone else's context). Simulations built on the sharded runtime
+   produce byte-identical output on either backend: item order only
+   affects wall-clock interleaving, never per-item event streams. *)
+
+let multicore = false
+
+let recommended_domains () = 1
+
+module Ctx = struct
+  let current : int option ref = ref None
+
+  let set v = current := v
+
+  let get () = !current
+end
+
+module Pool = struct
+  type t = unit
+
+  let create ~domains:_ = ()
+
+  let size () = 1
+
+  let run () ~n f =
+    for i = 0 to n - 1 do
+      f i
+    done
+
+  let shutdown () = ()
+end

@@ -6,15 +6,9 @@ type handle = {
   counter : int ref; (* that engine's cancelled-but-queued count *)
 }
 
-type event = {
-  time : float;
-  seq : int;
-  action : unit -> unit;
-  h : handle;
-}
 
 type t = {
-  queue : event Mortar_util.Heap.t;
+  queue : handle Event_heap.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable live : int;
@@ -22,13 +16,9 @@ type t = {
   mutable fired : int;
 }
 
-let compare_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
-
 let create () =
   {
-    queue = Mortar_util.Heap.create ~cmp:compare_event;
+    queue = Event_heap.create ();
     clock = 0.0;
     next_seq = 0;
     live = 0;
@@ -41,10 +31,10 @@ let now t = t.clock
 let schedule_at t ~at f =
   let at = if at < t.clock then t.clock else at in
   let h = { cancelled = false; queued = true; counter = t.cancelled_live } in
-  let ev = { time = at; seq = t.next_seq; action = f; h } in
+  let ev = { Event_heap.time = at; seq = t.next_seq; action = f; h } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
-  Mortar_util.Heap.push t.queue ev;
+  Event_heap.push t.queue ev;
   h
 
 let schedule t ~after f =
@@ -77,7 +67,7 @@ let every t ?phase ~period f =
   outer
 
 let rec step t =
-  match Mortar_util.Heap.pop t.queue with
+  match Event_heap.pop t.queue with
   | None -> false
   | Some ev ->
     t.live <- t.live - 1;
@@ -98,14 +88,58 @@ let run ?until t =
   match until with
   | None -> while step t do () done
   | Some stop ->
-    let continue = ref true in
-    while !continue do
-      match Mortar_util.Heap.peek t.queue with
-      | None -> continue := false
-      | Some ev when ev.time > stop -> continue := false
-      | Some _ -> ignore (step t)
+    (* Boundary check via [top_time] (O(1), allocation-free), pop only
+       what actually fires: the old pop-then-push-back paid a double
+       O(log n) sift at every boundary hit, which the epoch scheduler
+       reaches thousands of times per run. [top_time] is [infinity] on
+       an empty heap, so exhaustion falls out of the same test. *)
+    while Event_heap.top_time t.queue <= stop do
+      match Event_heap.pop t.queue with
+      | None -> assert false (* top_time <= stop implies non-empty *)
+      | Some ev ->
+        t.live <- t.live - 1;
+        ev.h.queued <- false;
+        if ev.h.cancelled then decr t.cancelled_live
+        else begin
+          t.clock <- ev.time;
+          t.fired <- t.fired + 1;
+          if !Obs.enabled then Obs.incr "engine.events_fired";
+          ev.action ()
+        end
     done;
     if t.clock < stop then t.clock <- stop
+
+let run_before t bound =
+  (* Strict-bound twin of [run ~until]: events with [time < bound] fire,
+     an event at exactly [bound] stays queued. The conservative epoch
+     scheduler runs every shard to a horizon H with this, then merges
+     cross-shard messages — all stamped [>= H] by the lookahead bound —
+     so an inclusive stop would steal events that canonically belong to
+     the next epoch. *)
+  while Event_heap.top_time t.queue < bound do
+    match Event_heap.pop t.queue with
+    | None -> assert false (* top_time < bound implies non-empty *)
+    | Some ev ->
+      t.live <- t.live - 1;
+      ev.h.queued <- false;
+      if ev.h.cancelled then decr t.cancelled_live
+      else begin
+        t.clock <- ev.time;
+        t.fired <- t.fired + 1;
+        if !Obs.enabled then Obs.incr "engine.events_fired";
+        ev.action ()
+      end
+  done;
+  if t.clock < bound then t.clock <- bound
+
+let next_time t =
+  (* Time of the earliest queued event, cancelled or not. Cancelled
+     events only make this an under-estimate of the next *fired* time,
+     which is safe for epoch bounds (a shard wakes up, pops the corpse,
+     and sleeps again). *)
+  match Event_heap.peek t.queue with
+  | None -> None
+  | Some ev -> Some ev.time
 
 let pending t =
   (* [live] counts queued events including cancelled ones that have not

@@ -47,6 +47,20 @@ val run : ?until:float -> t -> unit
     When stopped by [until], [now t] is set to [until] and remaining events
     stay queued. *)
 
+val run_before : t -> float -> unit
+(** [run_before t bound] fires every event with [time < bound] — strictly:
+    an event at exactly [bound] stays queued — then sets [now t] to
+    [bound]. The conservative epoch scheduler drives each shard's engine
+    with this; cross-shard messages merged at the epoch barrier are
+    stamped [>= bound] by the lookahead bound, so they land ahead of the
+    clock, never behind it. *)
+
+val next_time : t -> float option
+(** Time of the earliest queued event, or [None] on an empty queue.
+    Includes cancelled-but-queued events, so it may under-estimate the
+    next event that will actually fire — a safe lower bound for
+    epoch-boundary computations. *)
+
 val pending : t -> int
 (** Number of queued (uncancelled) events. O(1): the engine tracks
     cancellations live rather than scanning the queue. *)

@@ -1,23 +1,33 @@
 type bucket = { mutable count : int; mutable sum : float }
 
+(* Buckets live in a growable array indexed by the bucket number: the only
+   writer (transport byte accounting) stamps with [Engine.now], which is
+   non-negative and advances monotonically, so indices are dense from 0.
+   The old hashtable paid a polymorphic-hash C call on every send. *)
 type t = {
   width : float;
-  table : (int, bucket) Hashtbl.t;
+  mutable table : bucket option array;
   mutable last : int;
 }
 
 let create ~bucket =
   assert (bucket > 0.0);
-  { width = bucket; table = Hashtbl.create 64; last = -1 }
+  { width = bucket; table = Array.make 64 None; last = -1 }
 
 let bucket_of t time = int_of_float (floor (time /. t.width))
 
 let find t i =
-  match Hashtbl.find_opt t.table i with
+  let cap = Array.length t.table in
+  if i >= cap then begin
+    let ntable = Array.make (max (i + 1) (cap * 2)) None in
+    Array.blit t.table 0 ntable 0 cap;
+    t.table <- ntable
+  end;
+  match t.table.(i) with
   | Some b -> b
   | None ->
     let b = { count = 0; sum = 0.0 } in
-    Hashtbl.replace t.table i b;
+    t.table.(i) <- Some b;
     if i > t.last then t.last <- i;
     b
 
@@ -30,6 +40,8 @@ let incr t ~time x =
   let b = find t (bucket_of t time) in
   b.sum <- b.sum +. x
 
+let get t i = if i >= 0 && i < Array.length t.table then t.table.(i) else None
+
 type row = { t_start : float; count : int; sum : float; mean : float }
 
 let rows t =
@@ -37,7 +49,7 @@ let rows t =
     if i < 0 then acc
     else begin
       let row =
-        match Hashtbl.find_opt t.table i with
+        match get t i with
         | None -> { t_start = float_of_int i *. t.width; count = 0; sum = 0.0; mean = nan }
         | Some b ->
           {
@@ -60,7 +72,7 @@ let fold_between t t0 t1 =
        when t1 lands past its start, matching half-open semantics closely
        enough for bucket-granularity reporting. *)
     if float_of_int i *. t.width < t1 then
-      match Hashtbl.find_opt t.table i with
+      match get t i with
       | None -> ()
       | Some b ->
         count := !count + b.count;
@@ -73,3 +85,15 @@ let mean_between t t0 t1 =
   if count = 0 then nan else sum /. float_of_int count
 
 let sum_between t t0 t1 = snd (fold_between t t0 t1)
+
+let merge_into ~dst src =
+  if not (Float.equal dst.width src.width) then
+    invalid_arg "Series.merge_into: bucket widths differ";
+  for i = 0 to src.last do
+    match get src i with
+    | None -> ()
+    | Some b ->
+      let d = find dst i in
+      d.count <- d.count + b.count;
+      d.sum <- d.sum +. b.sum
+  done

@@ -32,3 +32,8 @@ val mean_between : t -> float -> float -> float
 (** Mean of samples with time in [\[t0, t1)]; [nan] if none. *)
 
 val sum_between : t -> float -> float -> float
+
+val merge_into : dst:t -> t -> unit
+(** Add every bucket of the source series into [dst] (summing counts and
+    sums bucket-wise). Both series must share the same bucket width.
+    Used to combine per-shard byte accounting into one view. *)

@@ -1,0 +1,54 @@
+(* Cross-shard mailboxes for the conservative parallel engine.
+
+   A simulation is partitioned into logical shards (one per stub domain,
+   fixed by the topology — NOT by the domain count, which only decides
+   how many shards execute concurrently). Within an epoch each shard
+   runs its own engine; a send whose destination lives on another shard
+   is posted here instead of scheduled, stamped with its delivery time
+   and a per-source sequence number. At the epoch barrier the scheduler
+   drains every mailbox bound for a shard and schedules the messages in
+   the canonical total order
+
+       (time, src_shard, seq)
+
+   which is a total order ([seq] increases per source shard) and depends
+   only on the logical shard structure — so any domain count, including
+   one, yields byte-identical simulations. *)
+
+type 'm stamped = { time : float; src_shard : int; seq : int; msg : 'm }
+
+type 'm outbox = {
+  src_shard : int;
+  mutable seq : int;
+  pending : 'm stamped list array; (* per destination shard, newest first *)
+}
+
+let create_outbox ~src_shard ~shards =
+  { src_shard; seq = 0; pending = Array.make shards [] }
+
+let post ob ~dst_shard ~time msg =
+  ob.pending.(dst_shard) <- { time; src_shard = ob.src_shard; seq = ob.seq; msg } :: ob.pending.(dst_shard);
+  ob.seq <- ob.seq + 1
+
+let compare_stamped a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c
+  else
+    let c = compare a.src_shard b.src_shard in
+    if c <> 0 then c else compare a.seq b.seq
+
+(* Everything posted to [dst_shard] across all outboxes, in canonical
+   order, clearing the mailboxes. Single-threaded: runs at the barrier. *)
+let drain outboxes ~dst_shard =
+  let all =
+    Array.fold_left
+      (fun acc ob ->
+        let l = ob.pending.(dst_shard) in
+        if l == [] then acc
+        else begin
+          ob.pending.(dst_shard) <- [];
+          List.rev_append l acc
+        end)
+      [] outboxes
+  in
+  List.sort compare_stamped all

@@ -1,0 +1,116 @@
+(* Int-keyed hashtable, open addressing with linear probing.
+
+   The generic [Hashtbl] pays a polymorphic-hash C call plus polymorphic
+   compare on every probe, and [Hashtbl.Make] routes every hash/equal
+   through a functor indirection; profiles of the 10k-host bench put a
+   fifth of the runtime in those probes. Here the probe loop is three
+   array reads with an inline multiplicative hash, and entries are flat
+   (no bucket cons cells), so the small hot tables (heartbeat partners,
+   emitted-slot watermarks) stay in cache.
+
+   Iteration order is arbitrary, as with [Hashtbl]; every caller that
+   lets order escape must sort first (lint D3). *)
+
+let empty_key = min_int
+let tomb_key = min_int + 1
+
+type 'a t = {
+  mutable keys : int array; (* empty_key = free, tomb_key = deleted *)
+  mutable vals : 'a option array; (* Some v iff keys.(i) is a real key *)
+  mutable size : int; (* live entries *)
+  mutable used : int; (* live + tombstones: drives resize *)
+}
+
+let hash x = x * 0x9E3779B1
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
+let create n =
+  let cap = pow2 (max 8 n) 8 in
+  { keys = Array.make cap empty_key; vals = Array.make cap None; size = 0; used = 0 }
+
+let length t = t.size
+
+let find_opt t key =
+  let mask = Array.length t.keys - 1 in
+  let rec probe i =
+    let k = t.keys.(i) in
+    if k = key then t.vals.(i)
+    else if k = empty_key then None
+    else probe ((i + 1) land mask)
+  in
+  probe (hash key land mask)
+
+let mem t key = find_opt t key <> None
+
+let resize t =
+  let okeys = t.keys and ovals = t.vals in
+  let ncap = pow2 (max 8 (t.size * 4)) 8 in
+  t.keys <- Array.make ncap empty_key;
+  t.vals <- Array.make ncap None;
+  t.used <- t.size;
+  let mask = ncap - 1 in
+  Array.iteri
+    (fun i k ->
+      if k <> empty_key && k <> tomb_key then begin
+        let rec slot j = if t.keys.(j) = empty_key then j else slot ((j + 1) land mask) in
+        let j = slot (hash k land mask) in
+        t.keys.(j) <- k;
+        t.vals.(j) <- ovals.(i)
+      end)
+    okeys
+
+let replace t key v =
+  let mask = Array.length t.keys - 1 in
+  (* First pass: update in place if the key exists, remembering the first
+     reusable (tombstone) slot on the way. *)
+  let rec probe i tomb =
+    let k = t.keys.(i) in
+    if k = key then t.vals.(i) <- Some v
+    else if k = empty_key then begin
+      (match tomb with
+      | Some j ->
+        t.keys.(j) <- key;
+        t.vals.(j) <- Some v
+      | None ->
+        t.keys.(i) <- key;
+        t.vals.(i) <- Some v;
+        t.used <- t.used + 1);
+      t.size <- t.size + 1;
+      if t.used * 4 > Array.length t.keys * 3 then resize t
+    end
+    else
+      probe ((i + 1) land mask)
+        (if tomb = None && k = tomb_key then Some i else tomb)
+  in
+  probe (hash key land mask) None
+
+let remove t key =
+  let mask = Array.length t.keys - 1 in
+  let rec probe i =
+    let k = t.keys.(i) in
+    if k = key then begin
+      t.keys.(i) <- tomb_key;
+      t.vals.(i) <- None;
+      t.size <- t.size - 1
+    end
+    else if k <> empty_key then probe ((i + 1) land mask)
+  in
+  probe (hash key land mask)
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri
+    (fun i k ->
+      if k <> empty_key && k <> tomb_key then
+        match t.vals.(i) with Some v -> acc := f k v !acc | None -> ())
+    t.keys;
+  !acc
+
+let iter f t = fold (fun k v () -> f k v) t ()
+
+let reset t =
+  t.keys <- Array.make 8 empty_key;
+  t.vals <- Array.make 8 None;
+  t.size <- 0;
+  t.used <- 0

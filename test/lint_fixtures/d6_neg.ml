@@ -1,0 +1,10 @@
+(* D6 negative: parallelism through the sanctioned wrapper is fine, and
+   a deliberate raw use can be suppressed with a reason. *)
+
+let run_sliced pool ~n f = Mortar_par.Par.Pool.run pool ~n f
+
+let current_shard () = Mortar_par.Par.Ctx.get ()
+
+let hot_flag =
+  (* lint: allow D6 fixture; single-writer flag read by a signal handler *)
+  Atomic.make false

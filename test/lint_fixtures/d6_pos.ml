@@ -1,0 +1,19 @@
+(* D6 positive: raw multicore primitives outside lib/par. Any of these
+   in simulation code can race with shard execution and break the
+   deterministic epoch barrier. *)
+
+let counter = Atomic.make 0
+
+let worker () = Atomic.incr counter
+
+let spawn_two () =
+  let d = Domain.spawn worker in
+  Domain.join d
+
+let lock = Mutex.create ()
+
+let guarded f =
+  Mutex.lock lock;
+  let v = f () in
+  Mutex.unlock lock;
+  v

@@ -188,7 +188,7 @@ let test_partition_and_heal () =
      already in flight when the cut lands may still arrive (faults act at
      send time), so leave one max-latency margin after [from]. *)
   let crossings = ref 0 in
-  Transport.on_deliver (D.transport d) (fun ~src ~dst ~kind:_ ->
+  D.on_deliver d (fun ~src ~dst ~kind:_ ->
       let now = D.now d in
       if now >= from +. 0.5 && now < until && in_cut.(src) <> in_cut.(dst) then incr crossings);
   Harness.run_until h 12.0;

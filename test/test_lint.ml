@@ -20,6 +20,8 @@ let fixture_files =
     "lint_fixtures/d4_neg.ml";
     "lint_fixtures/d5_pos.ml";
     "lint_fixtures/d5_neg.ml";
+    "lint_fixtures/d6_pos.ml";
+    "lint_fixtures/d6_neg.ml";
   ]
 
 let read_file path =
@@ -47,7 +49,7 @@ let test_all_rules_fire () =
         (Printf.sprintf "rule %s fires on its fixture" code)
         true
         (List.exists (fun (d : Diag.t) -> d.code = code) report.Driver.findings))
-    [ "D1"; "D2"; "D3"; "D4"; "D5" ]
+    [ "D1"; "D2"; "D3"; "D4"; "D5"; "D6" ]
 
 (* ... and the suppressed negatives are completely silent. *)
 let test_suppressions_silence () =
@@ -95,7 +97,7 @@ let test_real_tree_clean () =
 let tests =
   [
     Alcotest.test_case "fixture golden" `Quick test_fixture_golden;
-    Alcotest.test_case "all five rules fire" `Quick test_all_rules_fire;
+    Alcotest.test_case "all six rules fire" `Quick test_all_rules_fire;
     Alcotest.test_case "suppressions silence" `Quick test_suppressions_silence;
     Alcotest.test_case "baseline grandfathers" `Quick test_baseline_grandfathers;
     Alcotest.test_case "real tree clean" `Quick test_real_tree_clean;

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.tests);
       ("sim", Test_sim.tests);
+      ("parallel", Test_parallel.tests);
       ("net", Test_net.tests);
       ("cluster-coords", Test_cluster_coords.tests);
       ("overlay", Test_overlay.tests);
