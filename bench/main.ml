@@ -611,6 +611,38 @@ let () =
     Obs.enabled := true;
     Obs.Reg.clear Obs.default
   end;
+  (* --history FILE: validate the append-only benchmark history
+     (results/BENCH.jsonl) — every line must be well-formed JSON carrying
+     the keys downstream tooling groups by. Runs before (and composes
+     with) any timing mode, so `--scale --quick --history ...` gates both
+     the fresh results file and the accumulated history. *)
+  Option.iter
+    (fun path ->
+      let contains line key =
+        let kn = String.length key and n = String.length line in
+        let rec at i = i + kn <= n && (String.sub line i kn = key || at (i + 1)) in
+        at 0
+      in
+      let ic = open_in path in
+      let rows = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             Scale.validate_json line;
+             List.iter
+               (fun key ->
+                 if not (contains line key) then
+                   failwith
+                     (Printf.sprintf "%s row %d missing key %s" path (!rows + 1) key))
+               [ "\"pr\""; "\"bench\""; "\"hosts\"" ];
+             incr rows
+           end
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Printf.printf "history %s: %d rows ok\n%!" path !rows)
+    (arg_opt "--history");
   if has "--smoke" then run_smoke ()
   else if has "--scale" then
     let shards = max 1 (int_of_string (arg_value "--shards" "1")) in

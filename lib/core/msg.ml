@@ -24,6 +24,7 @@ type payload =
   | View_request of { name : string }
   | View_reply of { meta : Query.meta; view : Query.node_view option; age : float }
   | Adopt of { query : string; seqno : int; tree : int }
+  | Result_fwd of { query : string; slot : int; value : Value.t; count : int; age : float }
   | Reliable of { token : int; inner : payload }
   | Ack of { token : int }
 
@@ -45,6 +46,7 @@ let rec wire_size = function
   | Remove { name; _ } -> 24 + String.length name
   | View_request { name } -> 24 + String.length name
   | Adopt { query; _ } -> 24 + String.length query + 8
+  | Result_fwd { query; value; _ } -> 40 + String.length query + Value.wire_size value
   | View_reply { meta; view; _ } ->
     24 + Query.meta_wire_size meta
     + (match view with Some v -> Query.view_wire_size v | None -> 0)
@@ -54,6 +56,7 @@ let rec wire_size = function
 let rec kind = function
   | Data _ -> "data"
   | Heartbeat _ -> "heartbeat"
+  | Result_fwd _ -> "result"
   | Reliable { inner; _ } -> kind inner
   | Reconcile_request _ | Reconcile_reply _ | Install _ | Remove _ | View_request _
   | View_reply _ | Adopt _ | Ack _ ->
@@ -72,5 +75,7 @@ let rec pp ppf = function
   | View_request { name } -> Format.fprintf ppf "view-request[%s]" name
   | View_reply { meta; _ } -> Format.fprintf ppf "view-reply[%s]" meta.Query.name
   | Adopt { query; seqno; tree } -> Format.fprintf ppf "adopt[%s#%d tree=%d]" query seqno tree
+  | Result_fwd { query; slot; count; _ } ->
+    Format.fprintf ppf "result-fwd[%s slot=%d count=%d]" query slot count
   | Reliable { token; inner } -> Format.fprintf ppf "reliable#%d[%a]" token pp inner
   | Ack { token } -> Format.fprintf ppf "ack#%d" token

@@ -46,6 +46,11 @@ type payload =
           child there — restoring the heartbeat symmetry and downward
           (flex-down) reachability the static view would otherwise lose.
           Ignored unless the receiver runs the same [query]/[seqno]. *)
+  | Result_fwd of { query : string; slot : int; value : Value.t; count : int; age : float }
+      (** Shared-tree result fan-out: the physical query root forwards a
+          finished (non-boundary) result to a subscriber host that rides
+          on the shared tree set but is not the root itself. Fire-and-
+          forget, like data tuples. *)
   | Reliable of { token : int; inner : payload }
       (** Reliable-delivery envelope for control messages: the receiver
           acks [token] back to the sender and processes [inner] once;
@@ -58,8 +63,8 @@ type payload =
 val wire_size : payload -> int
 
 val kind : payload -> string
-(** Traffic class for bandwidth accounting: ["data"], ["heartbeat"] or
-    ["control"]. A {!Reliable} envelope takes its inner payload's kind;
-    {!Ack}s are ["control"]. *)
+(** Traffic class for bandwidth accounting: ["data"], ["heartbeat"],
+    ["result"] ({!Result_fwd} fan-out) or ["control"]. A {!Reliable}
+    envelope takes its inner payload's kind; {!Ack}s are ["control"]. *)
 
 val pp : Format.formatter -> payload -> unit

@@ -77,6 +77,15 @@ type result = {
   emitted_at_local : float;
 }
 
+type remote_result = {
+  r_query : string; (* physical query name *)
+  r_slot : int;
+  r_value : Value.t;
+  r_count : int;
+  r_age : float;
+  r_from : int; (* the forwarding root *)
+}
+
 type stats = {
   results_emitted : int;
   tuples_sent : int;
@@ -181,7 +190,10 @@ type t = {
   removed : (string, int) Hashtbl.t; (* name -> latest removal seqno *)
   not_mine : (string, int) Hashtbl.t; (* queries we learned do not include us *)
   partners : partner Itbl.t;
-  plans : (string, Query.meta * Mortar_overlay.Treeset.t) Hashtbl.t; (* injector only *)
+  plans : (string, Query.meta * Mortar_overlay.Treeset.t option) Hashtbl.t;
+      (* injector only; [None] is a removal tombstone — it keeps the
+         seqno lineage for the name without retaining the tree set, so
+         removing the last query sharing a tree actually frees it *)
   pending_views : (string, float) Hashtbl.t; (* name -> last request local time *)
   warmup : (string, warmup_entry Queue.t) Hashtbl.t; (* name -> buffered data *)
   fast_resync : (string, float) Hashtbl.t; (* name -> last warm-up resync time *)
@@ -192,8 +204,12 @@ type t = {
   ctl_rng : Rng.t;
       (* Dedicated stream for retry jitter: control-plane draws must not
          perturb the main rng the data path (striping, routing) uses. *)
+  result_fwds : (string, int list) Hashtbl.t;
+      (* shared-tree fan-out: query -> subscriber hosts the root forwards
+         finished results to (multi-query planner; root only) *)
   mutable next_token : int;
   mutable result_handlers : (result -> unit) list;
+  mutable remote_handlers : (remote_result -> unit) list;
   mutable hb_counter : int;
   mutable hb_timer : timer option;
   mutable digest_cache : string option;
@@ -577,6 +593,20 @@ and report_result t inst (s : Summary.t) =
          })
   end;
   List.iter (fun f -> f r) t.result_handlers;
+  (* Shared-tree fan-out: when this root serves subscribers besides
+     itself (multi-query planner), forward the finished result to each.
+     Boundary-only results carry no data and are not forwarded. *)
+  (if not s.boundary then
+     match Hashtbl.find_opt t.result_fwds meta.Query.name with
+     | None -> ()
+     | Some dsts ->
+       List.iter
+         (fun dst ->
+           if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.results_forwarded";
+           send_msg t ~dst
+             (Msg.Result_fwd
+                { query = meta.Query.name; slot = slide_slot; value; count = s.count; age = s.age }))
+         dsts);
   (* Results are the query's output stream: feed composed queries that
      subscribe to it locally (§2.2). Skip boundary-only results. *)
   if not s.boundary then inject t ~stream:meta.Query.name value
@@ -1135,7 +1165,7 @@ let install_query t (meta : Query.meta) treeset =
     invalid_arg "Peer.install_query: peer is not the plan root";
   if meta.Query.root <> t.rt.self then
     invalid_arg "Peer.install_query: meta.root is not this peer";
-  Hashtbl.replace t.plans meta.Query.name (meta, treeset);
+  Hashtbl.replace t.plans meta.Query.name (meta, Some treeset);
   let chunks =
     Query.chunk_plan ~repair_meta:t.cfg.self_heal treeset ~chunks:t.cfg.install_chunks
   in
@@ -1164,11 +1194,18 @@ let replan_query t ~name treeset =
 
 let remove_query t ~name =
   match Hashtbl.find_opt t.plans name with
-  | None -> invalid_arg "Peer.remove_query: no plan for this query (not the injector)"
-  | Some (meta, treeset) ->
+  | None | Some (_, None) ->
+    invalid_arg "Peer.remove_query: no plan for this query (not the injector)"
+  | Some (meta, Some treeset) ->
     let seqno = meta.Query.seqno + 1 in
     let primary = Mortar_overlay.Treeset.tree treeset 0 in
     let children = Mortar_overlay.Tree.children primary t.rt.self in
+    (* Tombstone, don't retain: keep the (bumped) seqno lineage so a later
+       reinstall under the same name supersedes every straggler, but drop
+       the tree set itself — the plan table must not leak the last
+       sharer's tree (and its heartbeat-partner obligations) forever. *)
+    Hashtbl.replace t.plans name ({ meta with Query.seqno }, None);
+    Hashtbl.remove t.result_fwds name;
     remove_local t ~name ~seqno;
     List.iter (fun c -> send_ctl t ~dst:c (Msg.Remove { name; seqno })) children
 
@@ -1434,7 +1471,12 @@ let rec receive t ~src payload =
   | Msg.View_request { name } -> (
     match Hashtbl.find_opt t.plans name with
     | None -> ()
-    | Some (meta, treeset) ->
+    | Some (meta, None) ->
+      (* Removal tombstone: tell the asker the query no longer includes
+         it (a straggler that missed the removal multicast), instead of
+         resurrecting a removed plan. *)
+      send_ctl t ~dst:src (Msg.View_reply { meta; view = None; age = 0.0 })
+    | Some (meta, Some treeset) ->
       let view =
         if Mortar_overlay.Tree.mem (Mortar_overlay.Treeset.tree treeset 0) src then
           Some (Query.view_of_treeset ~repair_meta:t.cfg.self_heal treeset src)
@@ -1448,6 +1490,12 @@ let rec receive t ~src payload =
     | None ->
       Hashtbl.replace t.not_mine meta.Query.name meta.Query.seqno;
       drop_warmup t meta.Query.name)
+  | Msg.Result_fwd { query; slot; value; count; age } ->
+    if !Obs.enabled then Obs.incr ~scope:(Obs.Node t.rt.self) "peer.results_fwd_received";
+    List.iter
+      (fun f ->
+        f { r_query = query; r_slot = slot; r_value = value; r_count = count; r_age = age; r_from = src })
+      t.remote_handlers
   | Msg.Adopt { query; seqno; tree } -> (
     (* A repairing orphan re-parented onto us: record it as a child so we
        heartbeat it and can descend into its subtree. Idempotent; ignored
@@ -1491,8 +1539,10 @@ let create ?(config = default_config) rt =
          across process restarts (a stale ack must not cancel a fresh
          retransmission, and the receiver's dup table must not suppress a
          fresh message). *)
+      result_fwds = Hashtbl.create 4;
       next_token = 0;
       result_handlers = [];
+      remote_handlers = [];
       hb_counter = 0;
       hb_timer = None;
       digest_cache = None;
@@ -1523,6 +1573,16 @@ let create ?(config = default_config) rt =
 
 let on_result t f = t.result_handlers <- f :: t.result_handlers
 
+let on_remote_result t f = t.remote_handlers <- f :: t.remote_handlers
+
+let set_result_forwards t ~query dsts =
+  let dsts = List.sort_uniq compare (List.filter (fun d -> d <> t.rt.self) dsts) in
+  if dsts = [] then Hashtbl.remove t.result_fwds query
+  else Hashtbl.replace t.result_fwds query dsts
+
+let plan_cached t ~name =
+  match Hashtbl.find_opt t.plans name with Some (_, Some _) -> true | _ -> false
+
 let installed t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.instances [] |> List.sort compare
 
@@ -1542,6 +1602,7 @@ let crash t =
   Hashtbl.reset t.not_mine;
   Itbl.reset t.partners;
   Hashtbl.reset t.plans;
+  Hashtbl.reset t.result_fwds;
   Hashtbl.reset t.pending_views;
   Hashtbl.reset t.warmup;
   Hashtbl.reset t.fast_resync;

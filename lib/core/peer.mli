@@ -153,6 +153,27 @@ val on_result : t -> (result -> unit) -> unit
     stream named after the query, so further queries can subscribe to a
     query's output stream (§2.2). *)
 
+type remote_result = {
+  r_query : string; (** The physical (shared) query name. *)
+  r_slot : int;
+  r_value : Value.t;
+  r_count : int;
+  r_age : float;
+  r_from : int; (** The forwarding root. *)
+}
+
+val on_remote_result : t -> (remote_result -> unit) -> unit
+(** Subscriber-side callback for {!Msg.Result_fwd} fan-out: results of a
+    shared physical query this host subscribes to without being its
+    root. *)
+
+val set_result_forwards : t -> query:string -> int list -> unit
+(** Root-side fan-out registration (multi-query planner): after every
+    non-boundary result of [query], forward it to each listed host. The
+    list replaces any previous registration ([\[\]] clears it); this host
+    itself is dropped (local delivery already happens via {!on_result}).
+    Forwarding state is root-local and lost on {!crash}. *)
+
 (** {1 Query management} *)
 
 val install_query : t -> Query.meta -> Mortar_overlay.Treeset.t -> unit
@@ -209,6 +230,11 @@ val orphaned_for : t -> query:string -> float option
 
 val partner_count : t -> int
 (** Heartbeat-partner table size (sweep diagnostics). *)
+
+val plan_cached : t -> name:string -> bool
+(** Whether the injector still retains the full tree set for [name].
+    [false] after {!remove_query} (only a seqno tombstone remains) — the
+    regression guard for the plan-table leak. *)
 
 val digest : t -> string
 (** Current MD5 digest over installed and removed query state (§6.1). *)

@@ -17,5 +17,6 @@ let ensure () =
     Fig18.register ();
     Ablations.register ();
     Churn.register ();
-    Soak.register ()
+    Soak.register ();
+    Mlq.register ()
   end

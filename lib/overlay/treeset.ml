@@ -71,3 +71,15 @@ let unique_children t n =
   let seen = Hashtbl.create 16 in
   Array.iter (fun tr -> List.iter (fun c -> Hashtbl.replace seen c ()) (Tree.children tr n)) t.all;
   Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+let union_edges t =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun tr -> List.iter (fun e -> Hashtbl.replace seen e ()) (Tree.edges tr)) t.all;
+  Hashtbl.fold (fun e () acc -> e :: acc) seen [] |> List.sort compare
+
+let interior_hosts t =
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun tr -> List.iter (fun n -> Hashtbl.replace seen n ()) (Tree.internal_nodes tr))
+    t.all;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare

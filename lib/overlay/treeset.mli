@@ -64,3 +64,12 @@ val unique_neighbors : t -> int -> int list
 
 val unique_children : t -> int -> int list
 (** Distinct children across the set (the heartbeat fan-out of Fig 13). *)
+
+val union_edges : t -> (int * int) list
+(** All distinct [(child, parent)] edges across the tree set, canonically
+    sorted — the link set a bandwidth cost model charges for. *)
+
+val interior_hosts : t -> int list
+(** Hosts that run an in-network operator on at least one tree (non-leaf
+    on that tree), canonically sorted — the per-node operator-count load
+    the multi-query planner budgets against. *)

@@ -1,0 +1,33 @@
+module Topology = Mortar_net.Topology
+module Treeset = Mortar_overlay.Treeset
+module Tree = Mortar_overlay.Tree
+
+type model = {
+  tuple_bytes : float;
+  result_bytes : float;
+  op_budget : int;
+}
+
+(* tuple_bytes tracks Msg.Data carrying a scalar summary; result_bytes a
+   Result_fwd. Four interior operator slots per host keeps hundreds of
+   physical queries from piling their merge work onto a few well-placed
+   hosts at 10k-host scale. *)
+let default = { tuple_bytes = 96.0; result_bytes = 64.0; op_budget = 4 }
+
+let tree_cost topo tr =
+  List.fold_left
+    (fun acc (c, p) -> acc +. Topology.latency topo c p)
+    0.0 (Tree.edges tr)
+
+let treeset_cost m topo ~window ts =
+  let trees = Treeset.trees ts in
+  let sum = Array.fold_left (fun acc tr -> acc +. tree_cost topo tr) 0.0 trees in
+  m.tuple_bytes /. window *. sum /. float_of_int (Array.length trees)
+
+let fanout_cost m topo ~window ~root subscribers =
+  List.fold_left
+    (fun acc s ->
+      if s = root then acc else acc +. (m.result_bytes /. window *. Topology.latency topo root s))
+    0.0 subscribers
+
+let interior_load ts = Treeset.interior_hosts ts

@@ -1,0 +1,39 @@
+(** The planner's bandwidth / load cost model.
+
+    Links are charged at [tuples/sec x latency class]: the transit-stub
+    topology prices a host-stub hop far below a stub-transit or
+    transit-transit hop, and {!Mortar_net.Topology.latency} sums exactly
+    those classes along the routed path — so edge latency is the hop
+    latency class aggregate for that link. Aggregation means a tree edge
+    carries (at most) one merged summary per window slide per tree, and
+    dynamic striping spreads each slide's tuples over the [D] trees, so a
+    tree set is charged its {e mean} per-tree edge cost at the window
+    rate. Results fan out from the physical root to every subscriber at
+    the same rate.
+
+    Node load is an operator-count budget: every host a tree set uses as
+    an interior (merging) node on any tree consumes one operator slot;
+    {!op_budget} caps the slots the greedy placement may consume per
+    host (Benoit et al.'s per-node CPU constraint, discretised). *)
+
+type model = {
+  tuple_bytes : float;  (** Estimated summary wire size on tree edges. *)
+  result_bytes : float;  (** Estimated result wire size on fan-out links. *)
+  op_budget : int;  (** Operator slots per host (interior roles). *)
+}
+
+val default : model
+
+val treeset_cost :
+  model -> Mortar_net.Topology.t -> window:float -> Mortar_overlay.Treeset.t -> float
+(** Mean per-tree sum of [edge latency x tuple_bytes / window] — the
+    in-network bandwidth-latency product of running this tree set, in
+    byte-seconds per second. *)
+
+val fanout_cost :
+  model -> Mortar_net.Topology.t -> window:float -> root:int -> int list -> float
+(** Cost of delivering one result per window from [root] to each
+    subscriber in the list ([root] itself is free). *)
+
+val interior_load : Mortar_overlay.Treeset.t -> int list
+(** The hosts charged one operator slot by this tree set (sorted). *)

@@ -1,0 +1,47 @@
+module Op = Mortar_core.Op
+module Value = Mortar_core.Value
+
+type t = {
+  name : string;
+  source : string;
+  op : Op.spec;
+  window : float;
+  publishers : int array;
+  subscriber : int;
+}
+
+let make ~name ~source ~op ~window ~publishers ~subscriber =
+  if window <= 0.0 then invalid_arg "Spec.make: window must be positive";
+  if Array.length publishers = 0 then invalid_arg "Spec.make: empty publisher set";
+  let publishers =
+    Array.to_list publishers |> List.sort_uniq compare |> Array.of_list
+  in
+  { name; source; op; window; publishers; subscriber }
+
+(* Floats are rendered with %h (hex, lossless) so the key is an exact
+   function of the value, not of a decimal rounding. *)
+let op_key = function
+  | Op.Sum -> "sum"
+  | Op.Count -> "count"
+  | Op.Avg -> "avg"
+  | Op.Min -> "min"
+  | Op.Max -> "max"
+  | Op.Top_k { k; key } -> Printf.sprintf "topk:%d:%s" k key
+  | Op.Union { cap } -> Printf.sprintf "union:%d" cap
+  | Op.Entropy -> "entropy"
+  | Op.Histogram { lo; hi; bins } -> Printf.sprintf "hist:%h:%h:%d" lo hi bins
+  | Op.Quantile { q; lo; hi; bins } -> Printf.sprintf "quant:%h:%h:%h:%d" q lo hi bins
+  | Op.Custom { name; args } ->
+    Printf.sprintf "custom:%s:%s" name (String.concat "," (List.map Value.show args))
+
+let canonical_key t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b t.source;
+  Buffer.add_char b '|';
+  Buffer.add_string b (op_key t.op);
+  Buffer.add_string b (Printf.sprintf "|%h|" t.window);
+  Array.iter (fun p -> Buffer.add_string b (string_of_int p); Buffer.add_char b ',') t.publishers;
+  Buffer.contents b
+
+let physical_name t =
+  "mq-" ^ String.sub (Digest.to_hex (Digest.string (canonical_key t))) 0 12

@@ -23,5 +23,6 @@ let () =
       ("edge-cases", Test_edge_cases.tests);
       ("integration", Test_integration.tests);
       ("self-heal", Test_selfheal.tests);
+      ("plan", Test_plan.tests);
       ("lint", Test_lint.tests);
     ]
