@@ -104,10 +104,12 @@ let merge_specs (g : Place.group) extra =
   }
 
 let add_batch t specs =
+  let in_batch = Hashtbl.create 16 in
   List.iter
     (fun (s : Spec.t) ->
-      if Hashtbl.mem t.by_name s.Spec.name then
-        invalid_arg ("Registry.add_batch: duplicate logical query " ^ s.Spec.name))
+      if Hashtbl.mem t.by_name s.Spec.name || Hashtbl.mem in_batch s.Spec.name then
+        invalid_arg ("Registry.add_batch: duplicate logical query " ^ s.Spec.name);
+      Hashtbl.replace in_batch s.Spec.name ())
     specs;
   let groups = Place.group_specs specs in
   let fresh, joining =
@@ -178,6 +180,12 @@ let remove t ~name =
     if remaining = [] then begin
       Hashtbl.remove t.entries key;
       Place.discharge t.usage p;
+      (* The peer-level removal ({!Mortar_core.Peer.remove_query})
+         multicasts its tombstone at [installed seqno + 1], and our
+         counter still sits at the installed seqno. Burn one number so a
+         re-admitted class installs strictly above every member's
+         recorded removal instead of being dropped as stale. *)
+      ignore (next_seqno t g.Place.phys);
       if !Obs.enabled then Obs.incr "planner.removes";
       obs_gauges t;
       [ Remove { phys = g.Place.phys; root = p.Place.root } ]
@@ -203,41 +211,74 @@ let handle_loss t ~dead =
       (fun (key, e) ->
         let p = e.placement in
         let g = p.Place.group in
-        let root_dead = is_dead p.Place.root in
-        let survivors = Array.to_list g.Place.publishers |> List.filter (fun h -> not (is_dead h)) in
-        if (not root_dead) && List.length survivors = Array.length g.Place.publishers then []
-        else if survivors = [] then begin
-          (* Nothing left to aggregate: retire the class. *)
-          List.iter
-            (fun (s : Spec.t) -> Hashtbl.remove t.by_name s.Spec.name)
-            g.Place.specs;
+        (* A logical query whose subscriber died has no consumer left:
+           retire it (and keep it out of every fan-out list) rather than
+           have the surviving root forward results into the void. A
+           rejoining host re-subscribes through [add_batch]. *)
+        let live_specs, dead_specs =
+          List.partition
+            (fun (s : Spec.t) -> not (is_dead s.Spec.subscriber))
+            g.Place.specs
+        in
+        List.iter (fun (s : Spec.t) -> Hashtbl.remove t.by_name s.Spec.name) dead_specs;
+        let retire () =
+          List.iter (fun (s : Spec.t) -> Hashtbl.remove t.by_name s.Spec.name) live_specs;
           Hashtbl.remove t.entries key;
           Place.discharge t.usage p;
+          (* Keep the seqno lineage ahead of the peer-level removal
+             multicast; see [remove]. *)
+          ignore (next_seqno t g.Place.phys);
           if !Obs.enabled then Obs.incr "planner.removes";
           [ Remove { phys = g.Place.phys; root = p.Place.root } ]
-        end
+        in
+        let root_dead = is_dead p.Place.root in
+        let survivors =
+          Array.to_list g.Place.publishers |> List.filter (fun h -> not (is_dead h))
+        in
+        if live_specs = [] || survivors = [] then
+          (* No consumer, or nothing left to aggregate: retire the class. *)
+          retire ()
         else begin
-          let g' = Place.with_publishers g (Array.of_list survivors) in
-          Place.discharge t.usage p;
-          let p' =
-            if root_dead then Place.place_group t.ctx ~usage:t.usage g'
-            else Place.place_group t.ctx ~usage:t.usage ~force_root:p.Place.root g'
-          in
-          Place.charge t.usage p';
-          e.placement <- p';
-          t.n_replans <- t.n_replans + 1;
-          if !Obs.enabled then Obs.incr "planner.replans";
-          [
-            Replan
-              {
-                phys = g'.Place.phys;
-                old_root = p.Place.root;
-                root = p'.Place.root;
-                meta = meta_of t p';
-                treeset = p'.Place.treeset;
-                subscribers = Place.subscribers g';
-              };
-          ]
+          let g = { g with Place.specs = live_specs } in
+          if (not root_dead) && List.length survivors = Array.length g.Place.publishers
+          then begin
+            (* Placement untouched; refresh the fan-out if a dead
+               subscriber was dropped. *)
+            e.placement <- { p with Place.group = g };
+            if dead_specs = [] then []
+            else
+              [
+                Update_fanout
+                  {
+                    phys = g.Place.phys;
+                    root = p.Place.root;
+                    subscribers = Place.subscribers g;
+                  };
+              ]
+          end
+          else begin
+            let g' = Place.with_publishers g (Array.of_list survivors) in
+            Place.discharge t.usage p;
+            let p' =
+              if root_dead then Place.place_group t.ctx ~usage:t.usage g'
+              else Place.place_group t.ctx ~usage:t.usage ~force_root:p.Place.root g'
+            in
+            Place.charge t.usage p';
+            e.placement <- p';
+            t.n_replans <- t.n_replans + 1;
+            if !Obs.enabled then Obs.incr "planner.replans";
+            [
+              Replan
+                {
+                  phys = g'.Place.phys;
+                  old_root = p.Place.root;
+                  root = p'.Place.root;
+                  meta = meta_of t p';
+                  treeset = p'.Place.treeset;
+                  subscribers = Place.subscribers g';
+                };
+            ]
+          end
         end)
       (sorted_entries t)
   in

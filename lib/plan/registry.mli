@@ -61,7 +61,11 @@ val handle_loss : t -> dead:int list -> action list
 (** Incremental re-plan after sustained node loss: classes with no dead
     member keep their placement untouched; affected classes are re-sited
     over survivors (root reused when alive); classes with no surviving
-    publisher are retired with {!action-Remove}. *)
+    publisher are retired with {!action-Remove}. Logical queries whose
+    {e subscriber} is in [dead] are retired too — dead hosts never
+    appear in an emitted fan-out list, and a rejoining host must
+    re-subscribe through {!add_batch}; a class left with no live
+    subscriber is retired even when publishers survive. *)
 
 val logical_count : t -> int
 

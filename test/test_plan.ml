@@ -253,6 +253,107 @@ let test_refcount_lifecycle () =
   done;
   Alcotest.(check int) "heartbeat-partner tables fully swept" 0 !partners
 
+(* Remove the last sharer, then re-admit the same sharing class: the
+   fresh install's seqno must supersede the removal tombstones the
+   peer-level removal multicast left behind at every member. *)
+let test_readmission_after_remove () =
+  let hosts = 48 in
+  let rng = Rng.create 78 in
+  let topo = Topology.transit_stub rng ~transits:3 ~stubs:6 ~hosts () in
+  let d = D.create ~seed:78 topo in
+  D.converge_coordinates d ();
+  let ctx = Place.ctx ~topo ~coords:(D.coordinates d) ~bf:4 ~degree:2 ~seed:5 () in
+  let reg = Registry.create ~ctx () in
+  let pubs = Array.init 24 (fun i -> i) in
+  for n = 0 to hosts - 1 do
+    D.sensor d ~node:n ~stream:"cpu" ~period:1.0 (fun _ -> Value.Int 1)
+  done;
+  let qa = mk ~name:"qa" ~publishers:pubs ~subscriber:2 () in
+  let acts = Registry.add_batch reg [ qa ] in
+  let phys, root =
+    match acts with
+    | [ Registry.Install { phys; root; _ } ] -> (phys, root)
+    | _ -> Alcotest.fail "expected a single Install action"
+  in
+  D.at d 1.0 (fun () -> List.iter (apply d) acts);
+  D.run_until d 6.0;
+  Alcotest.(check bool) "installed at the root" true (Peer.has_query (D.peer d root) phys);
+  D.at d 6.5 (fun () -> List.iter (apply d) (Registry.remove reg ~name:"qa"));
+  D.run_until d 10.0;
+  Alcotest.(check bool) "removed at the root" false (Peer.has_query (D.peer d root) phys);
+  (* Re-admit the class under a new logical name. The removal multicast
+     travelled at seqno 2 (install was 1), so the re-install must carry
+     a strictly larger seqno or every member drops it as stale. *)
+  let qb = mk ~name:"qb" ~publishers:pubs ~subscriber:9 () in
+  let acts = Registry.add_batch reg [ qb ] in
+  let root2 =
+    match acts with
+    | [ Registry.Install { phys = p; root; meta; _ } ] ->
+      Alcotest.(check string) "same physical class on re-admission" phys p;
+      Alcotest.(check bool) "install seqno supersedes the removal tombstone" true
+        (meta.Query.seqno > 2);
+      root
+    | _ -> Alcotest.fail "expected a fresh Install action"
+  in
+  let delivered = ref 0 in
+  Peer.on_result (D.peer d root2) (fun (r : Peer.result) ->
+      if r.query = phys then incr delivered);
+  D.at d 10.5 (fun () -> List.iter (apply d) acts);
+  D.run_until d 20.0;
+  Alcotest.(check bool) "re-admitted query installed at the root" true
+    (Peer.has_query (D.peer d root2) phys);
+  Alcotest.(check bool) "re-admitted query delivers results" true (!delivered > 0)
+
+(* Two specs with the same logical name inside one batch must be
+   rejected up-front, not half-admitted. *)
+let test_duplicate_in_batch () =
+  let reg = Registry.create ~ctx:(fresh_ctx ()) () in
+  let pubs = Array.init 8 (fun i -> i) in
+  let a = mk ~name:"dup" ~publishers:pubs ~subscriber:1 () in
+  let b = mk ~name:"dup" ~publishers:pubs ~subscriber:3 () in
+  Alcotest.check_raises "duplicate within one batch rejected"
+    (Invalid_argument "Registry.add_batch: duplicate logical query dup") (fun () ->
+      ignore (Registry.add_batch reg [ a; b ]));
+  Alcotest.(check int) "nothing admitted" 0 (Registry.logical_count reg)
+
+(* handle_loss must never leave a dead host on a fan-out list: logical
+   queries whose subscriber died are retired, surviving sharers keep the
+   class alive, and a class with no live subscriber is retired outright
+   even when its publishers survive. *)
+let test_loss_drops_dead_subscribers () =
+  let pubs = Array.init 16 (fun i -> i) in
+  let reg = Registry.create ~ctx:(fresh_ctx ()) () in
+  (* One subscriber inside the publisher set, one outside. *)
+  let a = mk ~name:"la" ~publishers:pubs ~subscriber:3 () in
+  let b = mk ~name:"lb" ~publishers:pubs ~subscriber:40 () in
+  ignore (Registry.add_batch reg [ a; b ]);
+  (* Kill the outside subscriber: publishers untouched, but the fan-out
+     must drop host 40 and its logical query must be retired. *)
+  (match Registry.handle_loss reg ~dead:[ 40 ] with
+  | [ Registry.Update_fanout { subscribers; _ } ] ->
+    Alcotest.(check (list int)) "dead subscriber dropped from fan-out" [ 3 ] subscribers
+  | _ -> Alcotest.fail "expected only a fan-out refresh");
+  Alcotest.(check int) "dead subscriber's query retired" 1 (Registry.logical_count reg);
+  (* Kill the last consumer (a publisher too): retire the class rather
+     than re-plan it for nobody. *)
+  (match Registry.handle_loss reg ~dead:[ 3 ] with
+  | [ Registry.Remove _ ] -> ()
+  | _ -> Alcotest.fail "expected the class retired once no consumer is left");
+  Alcotest.(check int) "registry empty" 0 (Registry.logical_count reg);
+  Alcotest.(check int) "no physical classes left" 0 (Registry.physical_count reg);
+  (* Publisher loss and a dead subscriber together: the survivors are
+     re-planned and the dead host is absent from the Replan fan-out. *)
+  let reg2 = Registry.create ~ctx:(fresh_ctx ()) () in
+  let c = mk ~name:"lc" ~publishers:pubs ~subscriber:5 () in
+  let e = mk ~name:"le" ~publishers:pubs ~subscriber:7 () in
+  ignore (Registry.add_batch reg2 [ c; e ]);
+  (match Registry.handle_loss reg2 ~dead:[ 5 ] with
+  | [ Registry.Replan { subscribers; _ } ] ->
+    Alcotest.(check (list int)) "replan fan-out excludes the dead host" [ 7 ] subscribers
+  | _ -> Alcotest.fail "expected a re-plan of the surviving class");
+  Alcotest.(check int) "dead subscriber's query retired on re-plan" 1
+    (Registry.logical_count reg2)
+
 (* ------------------------------------------------------------------ *)
 (* Shared sub-aggregates never overcount (provenance), and the sharded
    backend reproduces the single-domain result stream byte for byte.   *)
@@ -347,6 +448,9 @@ let tests =
     Alcotest.test_case "planning deterministic" `Quick test_planning_deterministic;
     Alcotest.test_case "operator budget pressure" `Quick test_budget_pressure;
     Alcotest.test_case "refcount lifecycle reclaims state" `Quick test_refcount_lifecycle;
+    Alcotest.test_case "re-admission supersedes removal" `Quick test_readmission_after_remove;
+    Alcotest.test_case "duplicate names within a batch" `Quick test_duplicate_in_batch;
+    Alcotest.test_case "loss retires dead subscribers" `Quick test_loss_drops_dead_subscribers;
     Alcotest.test_case "shared trees never overcount" `Quick test_provenance_no_overcount;
     Alcotest.test_case "shards 1 = shards 4" `Quick test_sharded_identical;
   ]
