@@ -346,7 +346,15 @@ let aged_payload t p =
     | Msg.Install { meta; members; edges; age } ->
       Msg.Install { meta; members; edges; age = age +. elapsed }
     | Msg.View_reply { meta; view; age } -> Msg.View_reply { meta; view; age = age +. elapsed }
-    | other -> other
+    | Msg.Result_fwd { query; slot; value; count; age } ->
+      (* Result_fwd is fire-and-forget today and never rides the reliable
+         path, but it does carry an [age] — re-age it so wrapping it in
+         Reliable later cannot silently misalign receiver windows. *)
+      Msg.Result_fwd { query; slot; value; count; age = age +. elapsed }
+    | ( Msg.Data _ | Msg.Heartbeat _ | Msg.Reconcile_request _ | Msg.Reconcile_reply _
+      | Msg.Remove _ | Msg.View_request _ | Msg.Adopt _ | Msg.Reliable _ | Msg.Ack _ ) as
+      other ->
+      other
 
 let rec ctl_attempt t p =
   p.ctl_attempts <- p.ctl_attempts + 1;

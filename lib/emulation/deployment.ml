@@ -283,6 +283,7 @@ let drain_outboxes sh =
 let par_shards sh pool f =
   Par.Pool.run pool ~n:(Array.length sh.shards) (fun i ->
       Par.Ctx.set (Some i);
+      (* lint: allow D7 disjoint slices: worker i only touches shards.(i); pool barrier orders ctl_sink *)
       f sh.shards.(i);
       Par.Ctx.set None)
 

@@ -1,0 +1,63 @@
+(* Discovery and loading of compiler [.cmt] artifacts for the typed
+   rules (D7-D9).
+
+   Dune drops one [.cmt] per compiled module under
+   [<dir>/.<lib>.objs/byte/] (and [.<exe>.eobjs/byte/] for
+   executables); given the same roots as the source scan, [scan] walks
+   into those dot-directories and returns every [.cmt] in a canonical
+   order. [load] unmarshals one and hands back the typed AST plus the
+   source path recorded at compile time (relative to the build root,
+   e.g. "lib/sim/engine.ml") — which is how typed findings line up with
+   the source files, suppression comments and the baseline.
+
+   Loading is best-effort by design: a missing or stale artifact (wrong
+   compiler magic, interrupted build) degrades the run to the syntactic
+   rules for that module instead of failing it, and the driver reports
+   how many modules the typed pass actually covered. *)
+
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
+
+let rec scan_dir acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if List.mem entry skip_dirs then acc
+           else scan_dir acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let scan paths =
+  List.fold_left
+    (fun acc p ->
+      if not (Sys.file_exists p) then acc
+      else if Sys.is_directory p then scan_dir acc p
+      else if Filename.check_suffix p ".cmt" then p :: acc
+      else acc)
+    [] paths
+  |> List.sort_uniq compare
+
+type loaded = {
+  source : string; (* source path as recorded by the compiler *)
+  modname : string; (* compilation unit, e.g. "Mortar_sim__Shard" *)
+  structure : Typedtree.structure;
+}
+
+type outcome =
+  | Ok_impl of loaded
+  | Not_impl (* interface-only or partial cmt: nothing to analyze *)
+  | Unreadable of string
+
+let load path =
+  match Cmt_format.read_cmt path with
+  | exception Sys_error e -> Unreadable e
+  | exception End_of_file -> Unreadable (path ^ ": truncated cmt file")
+  | exception Cmi_format.Error _ ->
+    Unreadable (path ^ ": wrong compiler magic (stale artifact?)")
+  | exception Failure e -> Unreadable (Printf.sprintf "%s: %s" path e)
+  | info -> (
+    match (info.Cmt_format.cmt_annots, info.Cmt_format.cmt_sourcefile) with
+    | Cmt_format.Implementation structure, Some source ->
+      Ok_impl { source; modname = info.Cmt_format.cmt_modname; structure }
+    | _ -> Not_impl)

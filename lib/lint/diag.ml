@@ -2,7 +2,7 @@
    Rendering is one line per finding so golden tests can diff output. *)
 
 type t = {
-  code : string; (* "D1".."D6" *)
+  code : string; (* "D1".."D9", or "S1".."S3" for suppression hygiene *)
   file : string;
   line : int;
   col : int;
@@ -32,3 +32,24 @@ let order a b =
 let to_string d = Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.code d.message
 
 let render diags = String.concat "\n" (List.map to_string diags)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf "{\"code\":%s,\"file\":%s,\"line\":%d,\"col\":%d,\"message\":%s}"
+    (json_string d.code) (json_string d.file) d.line d.col (json_string d.message)

@@ -1,9 +1,28 @@
-(* File discovery, parsing, suppression/baseline filtering, reporting.
+(* File discovery, parsing, the two analysis phases, suppression and
+   baseline filtering, reporting.
 
-   Directories given to [run] are scanned recursively for [.ml] files,
-   skipping build products and the deliberately-broken lint fixtures;
-   files given explicitly are always linted (that is how the fixture
-   tests exercise the rules). *)
+   Phase 1 (syntactic, D1-D6): directories given to [run] are scanned
+   recursively for [.ml] files, skipping build products and the
+   deliberately-broken lint fixtures; files given explicitly are always
+   linted (that is how the fixture tests exercise the rules).
+
+   Phase 2 (typed, D7-D9): the same roots (or [cmt_paths], when given)
+   are scanned for compiler [.cmt] artifacts — dune keeps them under
+   [.<lib>.objs/byte/] next to the sources in the build tree — and the
+   typed rules run over each module's typedtree. Typed findings are
+   attributed to the source path the compiler recorded, so inline allow
+   comments and the baseline work identically for both phases. When no
+   artifacts are found the typed pass degrades to a no-op and
+   [typed_modules] reports 0, which callers can surface ("typed pass
+   skipped: build first").
+
+   Suppression hygiene: every allow comment and baseline entry is
+   usage-tracked across both phases; the ones shielding nothing are
+   reported as stale warnings (S2 allow comments, S3 baseline entries),
+   and comments carrying the lint marker that fail to parse are
+   reported as malformed (S1) instead of being silently ignored. Allow
+   comments for D7-D9 are only judged stale in files the typed pass
+   actually covered. *)
 
 let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
 
@@ -41,16 +60,39 @@ let wallclock_allowed path = Filename.basename path = "bench_clock.ml"
 
 (* lib/par is the sanctioned parallel runtime: the one place raw
    Domain/Atomic/Mutex/Condition use is deliberate (and shadowed by a
-   sequential fallback on OCaml 4). *)
+   sequential fallback on OCaml 4). The typed D7 rule skips it for the
+   same reason: the pool internals ARE the shared state being fenced. *)
 let multicore_allowed path = Filename.basename (Filename.dirname path) = "par"
+
+(* Key used to correlate a source file across the two phases: the
+   syntactic scan may reach it as "../lib/x.ml" while the compiler
+   recorded "lib/x.ml" — strip leading ./ and ../ segments. *)
+let canonical path =
+  let rec strip p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      strip (String.sub p 2 (String.length p - 2))
+    else if String.length p >= 3 && String.sub p 0 3 = "../" then
+      strip (String.sub p 3 (String.length p - 3))
+    else p
+  in
+  strip path
 
 type report = {
   findings : Diag.t list; (* unsuppressed, not in baseline: these fail the build *)
   baselined : Diag.t list; (* present but grandfathered by the baseline file *)
+  stale : Diag.t list; (* S1 malformed / S2 stale allow comments, S3 stale baseline *)
   errors : string list; (* unreadable / unparseable files *)
+  typed_modules : int; (* modules the typed pass covered (0 = no cmts found) *)
 }
 
-let run ?baseline_file ~paths () =
+(* Per-source-file suppression state shared by both phases. *)
+type file_supp = {
+  display : string; (* path as first seen, for reporting *)
+  supp : Suppress.t;
+  mutable typed_seen : bool; (* did the typed pass cover this file? *)
+}
+
+let run ?baseline_file ?cmt_paths ?(source_root = ".") ~paths () =
   let files = expand paths in
   let parsed, errors =
     List.fold_left
@@ -70,24 +112,151 @@ let run ?baseline_file ~paths () =
   let baseline =
     match baseline_file with None -> [] | Some f -> Suppress.load_baseline f
   in
-  let findings, baselined =
-    List.fold_left
-      (fun (live, base) (file, text, ast) ->
-        let suppressions = Suppress.of_source text in
-        let diags =
-          Rules.run_rules env ~allow_wallclock:(wallclock_allowed file)
-            ~allow_multicore:(multicore_allowed file) ast
-          |> List.filter (fun (d : Diag.t) ->
-                 not (Suppress.allows suppressions ~line:d.line ~code:d.code))
-        in
-        let grandfathered, fresh =
-          List.partition (Suppress.baselined baseline) diags
-        in
-        (fresh @ live, grandfathered @ base))
-      ([], []) parsed
+  (* Suppression tables, one per canonical source path. *)
+  let supps : (string, file_supp) Hashtbl.t = Hashtbl.create 64 in
+  let supp_of ~display text =
+    let key = canonical display in
+    match Hashtbl.find_opt supps key with
+    | Some fs -> fs
+    | None ->
+      let fs = { display; supp = Suppress.of_source text; typed_seen = false } in
+      Hashtbl.add supps key fs;
+      fs
   in
+  (* ---- phase 1: syntactic rules ---------------------------------- *)
+  let syntactic =
+    List.concat_map
+      (fun (file, text, ast) ->
+        let fs = supp_of ~display:file text in
+        Rules.run_rules env ~allow_wallclock:(wallclock_allowed file)
+          ~allow_multicore:(multicore_allowed file) ast
+        |> List.filter (fun (d : Diag.t) ->
+               not (Suppress.allows fs.supp ~line:d.line ~code:d.code)))
+      parsed
+  in
+  (* ---- phase 2: typed rules over cmt artifacts -------------------- *)
+  let cmt_roots = match cmt_paths with Some ps -> ps | None -> paths in
+  let cmts = Cmt_loader.scan cmt_roots in
+  let tenv = Typed_rules.empty_tenv () in
+  let loaded, errors =
+    List.fold_left
+      (fun (ok, errs) path ->
+        match Cmt_loader.load path with
+        | Cmt_loader.Ok_impl l -> (l :: ok, errs)
+        | Cmt_loader.Not_impl -> (ok, errs)
+        | Cmt_loader.Unreadable e -> (ok, e :: errs))
+      ([], errors) cmts
+  in
+  (* Canonical analysis order, deduped by source (a module rebuilt into
+     several contexts still has one source of truth). *)
+  let loaded =
+    let seen = Hashtbl.create 64 in
+    List.sort (fun a b -> compare a.Cmt_loader.source b.Cmt_loader.source) loaded
+    |> List.filter (fun (l : Cmt_loader.loaded) ->
+           if Hashtbl.mem seen l.source then false
+           else begin
+             Hashtbl.add seen l.source ();
+             true
+           end)
+  in
+  List.iter
+    (fun (l : Cmt_loader.loaded) ->
+      Typed_rules.collect_types tenv ~modname:l.modname l.structure)
+    loaded;
+  Typed_rules.close_tenv tenv;
+  let typed =
+    List.concat_map
+      (fun (l : Cmt_loader.loaded) ->
+        let diags =
+          Typed_rules.run_rules tenv ~allow_multicore:(multicore_allowed l.source)
+            l.structure
+        in
+        (* Resolve the recorded source path for suppression comments:
+           as recorded, then relative to [source_root]. Generated
+           sources (e.g. dune's module aliases) resolve to nothing and
+           simply carry no suppressions. *)
+        let text =
+          let candidates = [ l.source; Filename.concat source_root l.source ] in
+          List.find_map
+            (fun p -> if Sys.file_exists p then Some (read_file p) else None)
+            candidates
+        in
+        let fs =
+          match text with
+          | Some text -> supp_of ~display:l.source text
+          | None -> supp_of ~display:l.source ""
+        in
+        fs.typed_seen <- true;
+        List.filter
+          (fun (d : Diag.t) -> not (Suppress.allows fs.supp ~line:d.line ~code:d.code))
+          diags)
+      loaded
+  in
+  (* ---- baseline partition ---------------------------------------- *)
+  let grandfathered, fresh =
+    List.partition (Suppress.baselined baseline) (syntactic @ typed)
+  in
+  (* ---- suppression hygiene --------------------------------------- *)
+  let typed_codes = [ "D7"; "D8"; "D9" ] in
+  let stale = ref [] in
+  let all_supps =
+    Hashtbl.fold (fun _ fs acc -> fs :: acc) supps []
+    |> List.sort (fun a b -> compare a.display b.display)
+  in
+  List.iter
+    (fun fs ->
+      let checkable code = fs.typed_seen || not (List.mem code typed_codes) in
+      List.iter
+        (fun (line, what) ->
+          stale :=
+            {
+              Diag.code = "S1";
+              file = fs.display;
+              line;
+              col = 0;
+              message = Printf.sprintf "malformed lint comment: %s" what;
+            }
+            :: !stale)
+        (Suppress.malformed fs.supp);
+      List.iter
+        (fun (line, code) ->
+          stale :=
+            {
+              Diag.code = "S2";
+              file = fs.display;
+              line;
+              col = 0;
+              message =
+                Printf.sprintf
+                  "stale suppression: no %s finding here anymore — remove the allow \
+                   comment (or narrow its code list)"
+                  code;
+            }
+            :: !stale)
+        (Suppress.stale_entries fs.supp ~checkable))
+    all_supps;
+  let typed_ran = loaded <> [] in
+  List.iter
+    (fun (e : Suppress.baseline_entry) ->
+      stale :=
+        {
+          Diag.code = "S3";
+          file = (match baseline_file with Some f -> f | None -> "lint.baseline");
+          line = 0;
+          col = 0;
+          message =
+            Printf.sprintf
+              "stale baseline entry '%s %s:%d': no such finding — ratchet the baseline \
+               down"
+              e.Suppress.b_code e.Suppress.b_file e.Suppress.b_line;
+        }
+        :: !stale)
+    (Suppress.stale_baseline baseline
+       ~checkable:(fun code -> typed_ran || not (List.mem code typed_codes)));
   {
-    findings = List.sort Diag.order findings;
-    baselined = List.sort Diag.order baselined;
+    findings = List.sort Diag.order fresh;
+    baselined = List.sort Diag.order grandfathered;
+    stale = List.sort Diag.order !stale;
     errors = List.rev errors;
+    typed_modules = List.length loaded;
   }

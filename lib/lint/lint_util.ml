@@ -1,0 +1,13 @@
+(* Tiny string helpers shared by the lint passes. *)
+
+(* Split [s] at the LAST occurrence of [sep]: "Mortar_sim__Shard" with
+   "__" gives [Some ("Mortar_sim", "Shard")]. *)
+let rsplit2 s sep =
+  let n = String.length s and m = String.length sep in
+  let rec go i =
+    if i < 0 then None
+    else if i + m <= n && String.sub s i m = sep then
+      Some (String.sub s 0 i, String.sub s (i + m) (n - i - m))
+    else go (i - 1)
+  in
+  if m = 0 then None else go (n - m)

@@ -10,11 +10,14 @@
    D2  the global Random module (including Random.State and especially
        Random.self_init). All randomness must flow through the seeded
        splitmix Util.Rng so a run is a pure function of its seed.
-   D3  Hashtbl.fold / Hashtbl.iter whose callback builds a list (a
-       [::] cons anywhere in the callback), i.e. hash-order escapes
-       into a data structure — unless the application is syntactically
-       under a List/Array sort (direct application or a [|>] / [@@]
-       pipe into one).
+   D3  hash-order escaping into an ordered data structure, two forms:
+       (a) Hashtbl.fold / Hashtbl.iter whose callback builds a list (a
+       [::] cons anywhere in the callback, whatever the argument's
+       label or position — MoreLabels-style [~f:] callbacks count);
+       (b) Hashtbl.to_seq / to_seq_keys / to_seq_values materialized
+       through List.of_seq or Array.of_seq, directly or through a
+       [|>] / [@@] pipe (including with Seq combinators in between).
+       Either form is fine when syntactically under a List/Array sort.
    D4  catch-all [try ... with _ ->] handlers, which swallow
        Out_of_memory, Stack_overflow and genuine bugs alike.
    D5  polymorphic compare/(=)/(<>) with an operand that is visibly a
@@ -107,6 +110,40 @@ let is_sort_app e =
 let is_pipe e =
   match path_of e with Some [ ("|>" | "@@") ] -> true | _ -> false
 
+(* Hashtbl.fold/iter under any module path spelling (Hashtbl.fold,
+   MoreLabels.Hashtbl.fold, ...). *)
+let hashtbl_iter_fold e =
+  match path_of e with
+  | Some p -> (
+    match List.rev p with
+    | (("fold" | "iter") as which) :: "Hashtbl" :: _ -> Some which
+    | _ -> None)
+  | None -> None
+
+let is_of_seq e =
+  match path_of e with
+  | Some p -> (
+    match List.rev p with
+    | "of_seq" :: (("List" | "Array") as m) :: _ -> Some m
+    | _ -> None)
+  | None -> None
+
+(* Does the subtree mention Hashtbl.to_seq{,_keys,_values}? *)
+let contains_hashtbl_to_seq (e : expression) =
+  let found = ref false in
+  let expr it x =
+    (match path_of x with
+    | Some p -> (
+      match List.rev p with
+      | ("to_seq" | "to_seq_keys" | "to_seq_values") :: "Hashtbl" :: _ -> found := true
+      | _ -> ())
+    | None -> ());
+    Ast_iterator.default_iterator.expr it x
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
 let is_fun e =
   match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
 
@@ -192,15 +229,39 @@ let check_expr ctx (e : expression) =
              bugs; match the specific exceptions instead")
       cases
   | Pexp_apply (f, args) -> (
-    (match (path_of f, args) with
-    | Some [ "Hashtbl"; (("fold" | "iter") as which) ], (Asttypes.Nolabel, cb) :: _
-      when ctx.sorted_depth = 0 && is_fun cb && builds_list cb ->
+    (* D3 form (a): a fold/iter callback that conses, whatever the
+       argument's label or position. *)
+    (match hashtbl_iter_fold f with
+    | Some which
+      when ctx.sorted_depth = 0
+           && List.exists (fun (_, cb) -> is_fun cb && builds_list cb) args ->
       add ctx ~code:"D3" ~loc:e.pexp_loc
         (Printf.sprintf
            "Hashtbl.%s builds a list in hash order; sort the escaping result (e.g. '|> \
             List.sort compare') or keep it commutative"
            which)
     | _ -> ());
+    (* D3 form (b): to_seq materialized into a list/array, directly or
+       through a pipe. The pipe case fires on the pipe application so a
+       [|> Seq.map ... |> List.of_seq] chain is still caught. *)
+    (match is_of_seq f with
+    | Some m
+      when ctx.sorted_depth = 0
+           && List.exists (fun (_, a) -> contains_hashtbl_to_seq a) args ->
+      add ctx ~code:"D3" ~loc:e.pexp_loc
+        (Printf.sprintf
+           "Hashtbl.to_seq materialized via %s.of_seq escapes hash order; sort the result \
+            or keep it a transient sequence"
+           m)
+    | _ ->
+      if
+        ctx.sorted_depth = 0 && is_pipe f
+        && List.exists (fun (_, a) -> is_of_seq a <> None) args
+        && List.exists (fun (_, a) -> contains_hashtbl_to_seq a) args
+      then
+        add ctx ~code:"D3" ~loc:e.pexp_loc
+          "Hashtbl.to_seq materialized via of_seq escapes hash order; sort the result or \
+           keep it a transient sequence");
     match (path_of f, args) with
     | Some p, [ (_, a); (_, b) ] when is_poly_cmp p -> (
       let op = String.concat "." p in

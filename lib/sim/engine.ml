@@ -66,7 +66,7 @@ let every t ?phase ~period f =
   ignore (schedule t ~after:phase tick);
   outer
 
-let rec step t =
+let[@lint.hot] rec step t =
   match Event_heap.pop t.queue with
   | None -> false
   | Some ev ->
@@ -84,7 +84,7 @@ let rec step t =
       true
     end
 
-let run ?until t =
+let[@lint.hot] run ?until t =
   match until with
   | None -> while step t do () done
   | Some stop ->
@@ -109,7 +109,7 @@ let run ?until t =
     done;
     if t.clock < stop then t.clock <- stop
 
-let run_before t bound =
+let[@lint.hot] run_before t bound =
   (* Strict-bound twin of [run ~until]: events with [time < bound] fire,
      an event at exactly [bound] stays queued. The conservative epoch
      scheduler runs every shard to a horizon H with this, then merges

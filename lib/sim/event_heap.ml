@@ -36,7 +36,7 @@ let create () = { times = [||]; seqs = [||]; data = [||]; size = 0 }
 
 let length t = t.size
 
-let push t x =
+let[@lint.hot] push t x =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
@@ -71,13 +71,13 @@ let push t x =
   tm.(!i) <- xt;
   sq.(!i) <- xs
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let[@lint.hot] peek t = if t.size = 0 then None else Some t.data.(0)
 
 (* Allocation-free boundary probe for the engine's run loops: the time
    of the earliest event, or [infinity] on an empty heap. *)
-let top_time t = if t.size = 0 then infinity else t.times.(0)
+let[@lint.hot] top_time t = if t.size = 0 then infinity else t.times.(0)
 
-let pop t =
+let[@lint.hot] pop t =
   if t.size = 0 then None
   else begin
     let d = t.data and tm = t.times and sq = t.seqs in

@@ -3,3 +3,7 @@
 let keys tbl =
   (* lint: allow D3 consumer folds with a commutative reducer *)
   Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let dump tbl =
+  (* lint: allow D3 debug dump, ordering not observable *)
+  Hashtbl.to_seq tbl |> List.of_seq

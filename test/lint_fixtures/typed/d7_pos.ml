@@ -1,0 +1,14 @@
+(* D7 positive: a shared Hashtbl captured by the worker closure handed
+   to the pool — the exact cross-shard data race the rule exists to
+   catch (concurrent Hashtbl.replace from several domains). *)
+
+module Par = Mortar_par.Par
+
+let leak pool (shared : (int, int) Hashtbl.t) =
+  Par.Pool.run pool ~n:4 (fun i -> Hashtbl.replace shared i (i * i))
+
+(* A mutable record type defined locally: capture is just as racy. *)
+type counter = { mutable hits : int }
+
+let leak_record pool (c : counter) =
+  Par.Pool.run pool ~n:4 (fun _ -> c.hits <- c.hits + 1)

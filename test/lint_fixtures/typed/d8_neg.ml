@@ -1,0 +1,18 @@
+(* D8 negatives: an exhaustive match needs no wildcard, and a justified
+   wildcard carries an inline allow. *)
+
+module Msg = Mortar_core.Msg
+
+let is_install (p : Msg.payload) =
+  match p with
+  | Msg.Install _ -> true
+  | Msg.Data _ | Msg.Heartbeat _ | Msg.Reconcile_request _ | Msg.Reconcile_reply _
+  | Msg.Remove _ | Msg.View_request _ | Msg.View_reply _ | Msg.Adopt _ | Msg.Result_fwd _
+  | Msg.Reliable _ | Msg.Ack _ ->
+    false
+
+let is_data (p : Msg.payload) =
+  match p with
+  | Msg.Data _ -> true
+  (* lint: allow D8 telemetry probe: only data tuples matter here *)
+  | _ -> false

@@ -1,0 +1,17 @@
+(* D8 positive: wildcard arms in matches over the two protocol types. A
+   catch-all here means a future constructor is silently dropped instead
+   of failing to compile. *)
+
+module Msg = Mortar_core.Msg
+module Registry = Mortar_plan.Registry
+
+let is_data (p : Msg.payload) = match p with Msg.Data _ -> true | _ -> false
+
+let action_root (a : Registry.action) =
+  match a with Registry.Install { root; _ } -> root | _ -> -1
+
+(* [function]-style dispatch counts too. *)
+let kind_name : Msg.payload -> string = function
+  | Msg.Data _ -> "data"
+  | Msg.Heartbeat _ -> "heartbeat"
+  | _ -> "control"

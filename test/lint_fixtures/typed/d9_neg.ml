@@ -1,0 +1,15 @@
+(* D9 negatives: the parameter chain itself is not an allocation; a
+   cold branch behind a disabled-by-default flag may allocate; and a
+   justified allocation carries an inline allow. *)
+
+let enabled = ref false
+
+let[@lint.hot] plain_arith a b c = (a * b) + c
+
+let[@lint.hot] guarded x =
+  if !enabled then ignore (x, x, "trace");
+  x + 1
+
+let[@lint.hot] justified x =
+  (* lint: allow D9 one pair per call, fixture for the allow path *)
+  (x, x)

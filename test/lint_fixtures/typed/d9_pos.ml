@@ -1,0 +1,12 @@
+(* D9 positive: allocations inside [@lint.hot] functions — a closure, a
+   tuple, a record and a boxed float, each on the per-event path. *)
+
+type acc = { total : int }
+
+let[@lint.hot] hot_closure xs shift = List.map (fun x -> x + shift) xs
+
+let[@lint.hot] hot_tuple a b = (a, b)
+
+let[@lint.hot] hot_record n = { total = n }
+
+let[@lint.hot] hot_boxed_float (x : float) = Some (x +. 1.0)

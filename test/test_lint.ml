@@ -75,11 +75,12 @@ let test_baseline_grandfathers () =
     (List.length live.Driver.findings)
     (List.length report.Driver.baselined)
 
-(* Zero unsuppressed findings on the real tree. Tests run from
-   _build/default/test, so the tree root is one level up; the @lint
-   alias in the root dune file runs the same scan hermetically — this
-   is a belt-and-braces in-process check, skipped if the sources are
-   not materialised next to the test. *)
+(* Zero unsuppressed findings on the real tree — both phases. Tests run
+   from _build/default/test, so the tree root is one level up and the
+   .objs cmt dirs sit next to the sources; the @lint alias in the root
+   dune file runs the same scan hermetically — this is a belt-and-braces
+   in-process check, skipped if the sources are not materialised next to
+   the test. *)
 let test_real_tree_clean () =
   let root = Filename.concat (Sys.getcwd ()) ".." in
   let dirs =
@@ -88,11 +89,104 @@ let test_real_tree_clean () =
   in
   if dirs = [] then ()
   else begin
-    let report = Driver.run ~paths:dirs () in
+    let report = Driver.run ~source_root:root ~paths:dirs () in
     Alcotest.(check (list string)) "no parse errors" [] report.Driver.errors;
     Alcotest.(check string) "real tree has zero unsuppressed findings" ""
+      (Diag.render report.Driver.findings);
+    Alcotest.(check string) "real tree has zero stale suppressions" ""
+      (Diag.render report.Driver.stale)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Typed rules (D7-D9) over the compiled fixture library's cmts.       *)
+
+let typed_cmt_dir = "lint_fixtures/typed/.lint_typed_fixtures.objs/byte"
+
+(* The fixture cmts exist whenever the test itself was built by dune
+   (the library is a link dependency); the guard keeps ad-hoc runs from
+   odd working directories from failing spuriously. *)
+let with_typed_report f =
+  if Sys.file_exists typed_cmt_dir then
+    f (Driver.run ~cmt_paths:[ typed_cmt_dir ] ~source_root:".." ~paths:[] ())
+
+let test_typed_golden () =
+  with_typed_report (fun report ->
+      Alcotest.(check (list string)) "no cmt load errors" [] report.Driver.errors;
+      let got = Diag.render report.Driver.findings in
+      let want = String.trim (read_file "lint_fixtures/typed/expected_typed.txt") in
+      Alcotest.(check string) "typed diagnostics match golden" want got;
+      Alcotest.(check string) "fixture allow comments are all live" ""
+        (Diag.render report.Driver.stale);
+      Alcotest.(check bool) "typed pass covered the fixture modules" true
+        (report.Driver.typed_modules >= 6))
+
+let test_typed_rules_fire () =
+  with_typed_report (fun report ->
+      List.iter
+        (fun code ->
+          Alcotest.(check bool)
+            (Printf.sprintf "rule %s fires on its fixture" code)
+            true
+            (List.exists (fun (d : Diag.t) -> d.code = code) report.Driver.findings))
+        [ "D7"; "D8"; "D9" ])
+
+(* The acceptance scenario: a deliberately introduced cross-shard
+   Hashtbl leak is caught by D7, attributed to the right file. *)
+let test_d7_catches_hashtbl_leak () =
+  with_typed_report (fun report ->
+      Alcotest.(check bool) "D7 flags the cross-shard Hashtbl capture" true
+        (List.exists
+           (fun (d : Diag.t) ->
+             d.code = "D7"
+             && Filename.basename d.file = "d7_pos.ml"
+             && String.length d.message > 0)
+           report.Driver.findings))
+
+(* Negative fixtures alone produce nothing: outbox-accessor captures,
+   exhaustive matches, cold branches and inline allows are all silent. *)
+let test_typed_negatives_silent () =
+  let negs =
+    List.map
+      (Filename.concat typed_cmt_dir)
+      [
+        "lint_typed_fixtures__D7_neg.cmt";
+        "lint_typed_fixtures__D8_neg.cmt";
+        "lint_typed_fixtures__D9_neg.cmt";
+      ]
+  in
+  if List.for_all Sys.file_exists negs then begin
+    let report = Driver.run ~cmt_paths:negs ~source_root:".." ~paths:[] () in
+    Alcotest.(check string) "typed negatives are silent" ""
       (Diag.render report.Driver.findings)
   end
+
+(* Stale-suppression hygiene at the driver level: an allow comment that
+   shields nothing is reported (S2), a malformed one is reported (S1)
+   — never silently ignored. The marker is concatenated so this test
+   file does not itself carry live suppression comments. *)
+let test_stale_and_malformed_reported () =
+  let write name lines =
+    let path = Filename.temp_file name ".ml" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let stale_file =
+    write "lint_stale" [ "(* lint" ^ ": allow D1 nothing here reads the clock *)"; "let x = 1" ]
+  in
+  let malformed_file =
+    write "lint_malformed" [ "(* lint" ^ ": allow determinism is hard *)"; "let y = 2" ]
+  in
+  let report = Driver.run ~paths:[ stale_file; malformed_file ] () in
+  Sys.remove stale_file;
+  Sys.remove malformed_file;
+  Alcotest.(check int) "no findings in the scratch files" 0
+    (List.length report.Driver.findings);
+  Alcotest.(check bool) "stale allow reported as S2" true
+    (List.exists (fun (d : Diag.t) -> d.code = "S2" && d.line = 1) report.Driver.stale);
+  Alcotest.(check bool) "malformed allow reported as S1" true
+    (List.exists (fun (d : Diag.t) -> d.code = "S1" && d.line = 1) report.Driver.stale)
 
 let tests =
   [
@@ -101,4 +195,11 @@ let tests =
     Alcotest.test_case "suppressions silence" `Quick test_suppressions_silence;
     Alcotest.test_case "baseline grandfathers" `Quick test_baseline_grandfathers;
     Alcotest.test_case "real tree clean" `Quick test_real_tree_clean;
+    Alcotest.test_case "typed fixture golden" `Quick test_typed_golden;
+    Alcotest.test_case "all three typed rules fire" `Quick test_typed_rules_fire;
+    Alcotest.test_case "D7 catches cross-shard Hashtbl leak" `Quick
+      test_d7_catches_hashtbl_leak;
+    Alcotest.test_case "typed negatives silent" `Quick test_typed_negatives_silent;
+    Alcotest.test_case "stale and malformed suppressions reported" `Quick
+      test_stale_and_malformed_reported;
   ]

@@ -25,4 +25,5 @@ let () =
       ("self-heal", Test_selfheal.tests);
       ("plan", Test_plan.tests);
       ("lint", Test_lint.tests);
+      ("lint-suppress", Test_suppress.tests);
     ]

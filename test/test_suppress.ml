@@ -1,0 +1,95 @@
+(* Suppress edge cases: multi-code allow comments, same-line vs
+   line-above shielding, leading-run code parsing, malformed comments
+   (reported, never silently dropped) and usage-tracked staleness.
+
+   The lint marker is always built by concatenation ("lint" ^ ":") so
+   this file does not itself carry suppression comments — the real @lint
+   pass scans test/ too, and a literal marker here would register as a
+   stale allow. *)
+
+module Suppress = Mortar_lint.Suppress
+
+let marker = "(* lint" ^ ": "
+
+let source lines = String.concat "\n" lines
+
+let test_multi_code_one_line () =
+  let t =
+    Suppress.of_source
+      (source [ marker ^ "allow D1 D3 both rules are fine here *)"; "let x = 1" ])
+  in
+  Alcotest.(check bool) "D1 allowed same line" true (Suppress.allows t ~line:1 ~code:"D1");
+  Alcotest.(check bool) "D3 allowed same line" true (Suppress.allows t ~line:1 ~code:"D3");
+  Alcotest.(check bool) "D3 allowed line below" true (Suppress.allows t ~line:2 ~code:"D3");
+  Alcotest.(check bool) "D2 not allowed" false (Suppress.allows t ~line:1 ~code:"D2")
+
+let test_line_above_vs_same_line () =
+  let t =
+    Suppress.of_source
+      (source [ "let a = 1"; marker ^ "allow D4 reason *)"; "let b = 2"; "let c = 3" ])
+  in
+  (* The comment sits on line 2: it shields lines 2 and 3, nothing else. *)
+  Alcotest.(check bool) "shields its own line" true (Suppress.allows t ~line:2 ~code:"D4");
+  Alcotest.(check bool) "shields the next line" true (Suppress.allows t ~line:3 ~code:"D4");
+  Alcotest.(check bool) "does not shield two lines down" false
+    (Suppress.allows t ~line:4 ~code:"D4");
+  Alcotest.(check bool) "does not shield the line above itself" false
+    (Suppress.allows t ~line:1 ~code:"D4")
+
+(* The code list is the leading run of D<digits> tokens: prose in the
+   reason that happens to mention a rule does not widen the
+   suppression. *)
+let test_reason_does_not_widen () =
+  let t =
+    Suppress.of_source
+      (source [ marker ^ "allow D1 the clock is fake; D3 does not apply *)"; "let x = 1" ])
+  in
+  Alcotest.(check bool) "D1 allowed" true (Suppress.allows t ~line:1 ~code:"D1");
+  Alcotest.(check bool) "D3 from the reason text is NOT allowed" false
+    (Suppress.allows t ~line:1 ~code:"D3")
+
+let malformed_lines t = List.map fst (Suppress.malformed t)
+
+let test_malformed_reported () =
+  (* No codes at all. *)
+  let t1 = Suppress.of_source (source [ marker ^ "allow this is fine, trust me *)" ]) in
+  Alcotest.(check (list int)) "code-less allow reported" [ 1 ] (malformed_lines t1);
+  (* Lowercase code: probably meant D3. *)
+  let t2 = Suppress.of_source (source [ "let a = 1"; marker ^ "allow d3 oops *)" ]) in
+  Alcotest.(check (list int)) "lowercase code reported" [ 2 ] (malformed_lines t2);
+  Alcotest.(check bool) "lowercase code does not suppress" false
+    (Suppress.allows t2 ~line:2 ~code:"D3");
+  (* Wrong-case keyword. *)
+  let t3 = Suppress.of_source (source [ marker ^ "Allow D3 wrong keyword case *)" ]) in
+  Alcotest.(check (list int)) "mis-cased keyword reported" [ 1 ] (malformed_lines t3);
+  (* Prose containing the marker but no allow keyword is not a
+     directive and not malformed either. *)
+  let t4 = Suppress.of_source (source [ marker ^ "rules are documented in DESIGN.md *)" ]) in
+  Alcotest.(check (list int)) "prose is ignored" [] (malformed_lines t4);
+  Alcotest.(check int) "prose produces no entries either" 0
+    (List.length (Suppress.stale_entries t4 ~checkable:(fun _ -> true)))
+
+let test_stale_tracking () =
+  let t =
+    Suppress.of_source
+      (source [ marker ^ "allow D1 D3 only D1 will fire *)"; "let x = 1" ])
+  in
+  Alcotest.(check bool) "D1 consumed" true (Suppress.allows t ~line:2 ~code:"D1");
+  (* D3 never fired: it alone is stale. *)
+  Alcotest.(check (list (pair int string)))
+    "unused code is stale" [ (1, "D3") ]
+    (Suppress.stale_entries t ~checkable:(fun _ -> true));
+  (* With D3 not checkable (e.g. the typed pass did not cover the file),
+     it must not be reported as stale. *)
+  Alcotest.(check (list (pair int string)))
+    "uncheckable code is not judged" []
+    (Suppress.stale_entries t ~checkable:(fun c -> c <> "D3"))
+
+let tests =
+  [
+    Alcotest.test_case "multiple codes on one line" `Quick test_multi_code_one_line;
+    Alcotest.test_case "line-above vs same-line" `Quick test_line_above_vs_same_line;
+    Alcotest.test_case "reason text does not widen" `Quick test_reason_does_not_widen;
+    Alcotest.test_case "malformed comments reported" `Quick test_malformed_reported;
+    Alcotest.test_case "stale usage tracking" `Quick test_stale_tracking;
+  ]

@@ -188,7 +188,6 @@ let summary_eq (a : Summary.t) (b : Summary.t) =
   && a.count = b.count && a.boundary = b.boundary
   && Float.equal a.age b.age
   && a.hops = b.hops && a.hops_max = b.hops_max
-  (* lint: allow D5 Summary.prov is an (int*int) list; '=' is exact here *)
   && a.prov = b.prov
 
 let summaries_eq la lb = List.length la = List.length lb && List.for_all2 summary_eq la lb
