@@ -371,6 +371,20 @@ let parse_opcall st ~defined ~name =
       let hi = Value.to_float (kw st args "hi") in
       let bins = Value.to_int (kw_opt st args "bins" ~default:(Value.Int 64)) in
       `Agg (Op.Quantile { q; lo; hi; bins })
+    | "cm" ->
+      let depth = Value.to_int (kw_opt st args "depth" ~default:(Value.Int 4)) in
+      let width = Value.to_int (kw_opt st args "width" ~default:(Value.Int 256)) in
+      let seed = Value.to_int (kw_opt st args "seed" ~default:(Value.Int 7)) in
+      `Agg (Op.Sketch_count_min { depth; width; seed })
+    | "agms" ->
+      let rows = Value.to_int (kw_opt st args "rows" ~default:(Value.Int 5)) in
+      let cols = Value.to_int (kw_opt st args "cols" ~default:(Value.Int 128)) in
+      let seed = Value.to_int (kw_opt st args "seed" ~default:(Value.Int 7)) in
+      `Agg (Op.Sketch_agms { rows; cols; seed })
+    | "hll" ->
+      let b = Value.to_int (kw_opt st args "b" ~default:(Value.Int 11)) in
+      let seed = Value.to_int (kw_opt st args "seed" ~default:(Value.Int 7)) in
+      `Agg (Op.Sketch_hll { b; seed })
     | custom ->
       if not (Op.registered custom) then error st.last_line "unknown operator %s" custom;
       let constants = List.map (const_of st) (positional ()) in

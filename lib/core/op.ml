@@ -1,3 +1,5 @@
+module Sketch = Mortar_sketch
+
 type spec =
   | Sum
   | Count
@@ -10,6 +12,9 @@ type spec =
   | Histogram of { lo : float; hi : float; bins : int }
   | Quantile of { q : float; lo : float; hi : float; bins : int }
   | Custom of { name : string; args : Value.t list }
+  | Sketch_count_min of { depth : int; width : int; seed : int }
+  | Sketch_agms of { rows : int; cols : int; seed : int }
+  | Sketch_hll of { b : int; seed : int }
 
 type impl = {
   init : Value.t;
@@ -200,6 +205,103 @@ let quantile_impl ~q ~lo ~hi ~bins =
         end);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Sketch family: partials travel as packed byte strings (Value.Str),
+   [Null] is the merge identity (so boundary summaries stay one byte),
+   and any codec or parameter mismatch surfaces as a Value.Type_error —
+   a query fault the peer counts and drops, never a crash. *)
+
+(* The item identity a sketch hashes. Single-field records unwrap so a
+   [map] pre-transform projecting one field sketches the field's value,
+   not its record wrapping; everything else falls back to the canonical
+   rendering, which is deterministic across runs and shards. *)
+let rec sketch_key v =
+  match v with
+  | Value.Null -> 0x5EED0
+  | Value.Bool false -> 0x5EED1
+  | Value.Bool true -> 0x5EED2
+  | Value.Int i -> i
+  | Value.Float f -> Int64.to_int (Int64.bits_of_float f) land max_int
+  | Value.Str s -> Sketch.Hash.hash_str ~seed:0 s
+  | Value.Record [ (_, inner) ] -> sketch_key inner
+  | (Value.List _ | Value.Record _) as v -> Sketch.Hash.hash_str ~seed:0 (Value.show v)
+
+let sketch_fault msg = Value.type_error "sketch: %s" msg
+
+(* Decode / re-encode around every structural operation: the string is
+   the partial. [decode] accepts the operator's own parameters only, so
+   a summary from a differently-parameterized query can never merge in
+   silently. *)
+let sketch_ops ~decode ~encode ~make ~add ~merge ~sub =
+  let dec = function
+    | Value.Str s -> (
+      try decode s with Failure msg -> sketch_fault msg)
+    | v -> Value.type_error "expected a packed sketch, got %s" (Value.show v)
+  in
+  let enc s = Value.Str (encode s) in
+  let guard f a b = try f a b with Failure msg -> sketch_fault msg in
+  let lift v =
+    let s = make () in
+    add s v;
+    enc s
+  in
+  let merge_v a b =
+    match (a, b) with
+    | Value.Null, x | x, Value.Null -> x
+    | a, b -> enc (guard merge (dec a) (dec b))
+  in
+  let remove_v =
+    match sub with
+    | None -> None
+    | Some sub ->
+      Some
+        (fun a b ->
+          match (a, b) with
+          | x, Value.Null -> x
+          | a, b -> enc (guard sub (match a with Value.Null -> make () | a -> dec a) (dec b)))
+  in
+  (lift, merge_v, remove_v, dec)
+
+let sketch_count_min_impl ~depth ~width ~seed =
+  let lift, merge, remove, _dec =
+    sketch_ops
+      ~decode:Sketch.Count_min.of_string ~encode:Sketch.Count_min.to_string
+      ~make:(fun () -> Sketch.Count_min.create ~depth ~width ~seed)
+      ~add:(fun s v -> Sketch.Count_min.add s ~key:(sketch_key v) ~w:1)
+      ~merge:Sketch.Count_min.merge ~sub:(Some Sketch.Count_min.sub)
+  in
+  (* Finalize keeps the packed sketch: the subscriber owns the point
+     queries (and the exact total via Count_min.total). *)
+  { init = Value.Null; lift; merge; remove; finalize = id }
+
+let sketch_agms_impl ~rows ~cols ~seed =
+  let lift, merge, remove, dec =
+    sketch_ops
+      ~decode:Sketch.Agms.of_string ~encode:Sketch.Agms.to_string
+      ~make:(fun () -> Sketch.Agms.create ~rows ~cols ~seed)
+      ~add:(fun s v -> Sketch.Agms.add s ~key:(sketch_key v) ~w:1)
+      ~merge:Sketch.Agms.merge ~sub:(Some Sketch.Agms.sub)
+  in
+  let finalize = function
+    | Value.Null -> Value.Float 0.0
+    | v -> Value.Float (Sketch.Agms.second_moment (dec v))
+  in
+  { init = Value.Null; lift; merge; remove; finalize }
+
+let sketch_hll_impl ~b ~seed =
+  let lift, merge, remove, dec =
+    sketch_ops
+      ~decode:Sketch.Hll.of_string ~encode:Sketch.Hll.to_string
+      ~make:(fun () -> Sketch.Hll.create ~b ~seed)
+      ~add:(fun s v -> Sketch.Hll.add s ~key:(sketch_key v))
+      ~merge:Sketch.Hll.merge ~sub:None
+  in
+  let finalize = function
+    | Value.Null -> Value.Float 0.0
+    | v -> Value.Float (Sketch.Hll.estimate (dec v))
+  in
+  { init = Value.Null; lift; merge; remove; finalize }
+
 let compile = function
   | Sum -> sum_impl
   | Count -> count_impl
@@ -215,6 +317,9 @@ let compile = function
     match Hashtbl.find_opt registry name with
     | Some f -> f args
     | None -> invalid_arg (Printf.sprintf "Op.compile: unregistered operator %s" name))
+  | Sketch_count_min { depth; width; seed } -> sketch_count_min_impl ~depth ~width ~seed
+  | Sketch_agms { rows; cols; seed } -> sketch_agms_impl ~rows ~cols ~seed
+  | Sketch_hll { b; seed } -> sketch_hll_impl ~b ~seed
 
 let spec_name = function
   | Sum -> "sum"
@@ -228,6 +333,9 @@ let spec_name = function
   | Histogram _ -> "histogram"
   | Quantile _ -> "quantile"
   | Custom { name; _ } -> name
+  | Sketch_count_min _ -> "cm"
+  | Sketch_agms _ -> "agms"
+  | Sketch_hll _ -> "hll"
 
 let pp_spec ppf spec =
   match spec with
@@ -240,10 +348,29 @@ let pp_spec ppf spec =
     Format.fprintf ppf "%s(%a)" name
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
       args
+  | Sketch_count_min { depth; width; seed } ->
+    Format.fprintf ppf "cm(depth=%d, width=%d, seed=%d)" depth width seed
+  | Sketch_agms { rows; cols; seed } ->
+    Format.fprintf ppf "agms(rows=%d, cols=%d, seed=%d)" rows cols seed
+  | Sketch_hll { b; seed } -> Format.fprintf ppf "hll(b=%d, seed=%d)" b seed
   | other -> Format.pp_print_string ppf (spec_name other)
 
 let spec_wire_size spec =
   match spec with
   | Custom { name; args } ->
     String.length name + List.fold_left (fun acc v -> acc + Value.wire_size v) 4 args
+  | Sketch_count_min _ | Sketch_agms _ -> 16 (* op tag + two dims + seed *)
+  | Sketch_hll _ -> 13 (* op tag + precision + seed *)
   | _ -> 8
+
+(* Serialized cap of one partial, for operators whose state has one: the
+   dense codec bound plus Value.Str framing. The planner charges sketch
+   results these true fixed bytes instead of the flat scalar default;
+   unbounded operators (lists, per-category records) answer None. *)
+let state_wire_size = function
+  | Sketch_count_min { depth; width; _ } -> Some (4 + Sketch.Count_min.max_bytes ~depth ~width)
+  | Sketch_agms { rows; cols; _ } -> Some (4 + Sketch.Agms.max_bytes ~rows ~cols)
+  | Sketch_hll { b; _ } -> Some (4 + Sketch.Hll.max_bytes ~b)
+  | Sum | Count | Avg | Min | Max | Top_k _ | Union _ | Entropy | Histogram _ | Quantile _
+  | Custom _ ->
+    None

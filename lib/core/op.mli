@@ -40,6 +40,19 @@ type spec =
           fixed-bin histogram sketch on [\[lo, hi\]]; the answer is exact
           to within one bin width. *)
   | Custom of { name : string; args : Value.t list }
+  | Sketch_count_min of { depth : int; width : int; seed : int }
+      (** Count-Min frequency sketch ({!Mortar_sketch.Count_min}): the
+          result is the packed sketch itself; subscribers point-query it
+          and read the exact total. Linear — supports [remove]. *)
+  | Sketch_agms of { rows : int; cols : int; seed : int }
+      (** AGMS tug-of-war second-moment (self-join size) sketch
+          ({!Mortar_sketch.Agms}); finalizes to the F2 estimate. *)
+  | Sketch_hll of { b : int; seed : int }
+      (** HyperLogLog distinct count ({!Mortar_sketch.Hll}) over [2^b]
+          registers; finalizes to the cardinality estimate. Max-merge:
+          idempotent, so duplicate delivery over a striped multipath
+          tree union cannot skew it — the one operator family that
+          retires the time-division requirement of §2.2. *)
 
 type impl = {
   init : Value.t;
@@ -63,3 +76,16 @@ val spec_name : spec -> string
 val pp_spec : Format.formatter -> spec -> unit
 
 val spec_wire_size : spec -> int
+
+val state_wire_size : spec -> int option
+(** Serialized cap of one partial for operators with a fixed-size state
+    (the sketch family: dense-codec bound plus [Value.Str] framing);
+    [None] when the partial grows with the data. The planner uses this
+    to charge sketch queries their true result bytes. *)
+
+val sketch_key : Value.t -> int
+(** The deterministic item identity the sketch operators hash: ints map
+    to themselves, single-field records unwrap to their field's value,
+    and everything else hashes its canonical rendering. Exposed so
+    subscribers point-querying a packed {!Sketch_count_min} result key
+    it exactly as the in-network inserts did. *)

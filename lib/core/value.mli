@@ -18,6 +18,10 @@ type t =
 exception Type_error of string
 (** Raised by the checked accessors. *)
 
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [type_error fmt ...] raises {!Type_error} with a formatted message;
+    for operator implementations reporting their own shape mismatches. *)
+
 val to_float : t -> float
 (** Numeric coercion of [Int] and [Float]. @raise Type_error otherwise. *)
 

@@ -18,5 +18,6 @@ let ensure () =
     Ablations.register ();
     Churn.register ();
     Soak.register ();
-    Mlq.register ()
+    Mlq.register ();
+    Sketch.register ()
   end

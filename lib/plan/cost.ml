@@ -19,15 +19,28 @@ let tree_cost topo tr =
     (fun acc (c, p) -> acc +. Topology.latency topo c p)
     0.0 (Tree.edges tr)
 
-let treeset_cost m topo ~window ts =
+(* Operators with a fixed-size partial (the sketch family) are charged
+   their true serialized cap on both tree edges and fan-out links; every
+   other operator keeps the flat scalar-summary defaults, so planning of
+   pre-sketch workloads is bit-for-bit unchanged. *)
+let op_bytes ~default op =
+  match op with
+  | None -> default
+  | Some op -> (
+    match Mortar_core.Op.state_wire_size op with
+    | Some cap -> float_of_int cap
+    | None -> default)
+
+let treeset_cost m ?op topo ~window ts =
   let trees = Treeset.trees ts in
   let sum = Array.fold_left (fun acc tr -> acc +. tree_cost topo tr) 0.0 trees in
-  m.tuple_bytes /. window *. sum /. float_of_int (Array.length trees)
+  op_bytes ~default:m.tuple_bytes op /. window *. sum /. float_of_int (Array.length trees)
 
-let fanout_cost m topo ~window ~root subscribers =
+let fanout_cost m ?op topo ~window ~root subscribers =
+  let bytes = op_bytes ~default:m.result_bytes op in
   List.fold_left
     (fun acc s ->
-      if s = root then acc else acc +. (m.result_bytes /. window *. Topology.latency topo root s))
+      if s = root then acc else acc +. (bytes /. window *. Topology.latency topo root s))
     0.0 subscribers
 
 let interior_load ts = Treeset.interior_hosts ts

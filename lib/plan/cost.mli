@@ -25,15 +25,31 @@ type model = {
 val default : model
 
 val treeset_cost :
-  model -> Mortar_net.Topology.t -> window:float -> Mortar_overlay.Treeset.t -> float
-(** Mean per-tree sum of [edge latency x tuple_bytes / window] — the
+  model ->
+  ?op:Mortar_core.Op.spec ->
+  Mortar_net.Topology.t ->
+  window:float ->
+  Mortar_overlay.Treeset.t ->
+  float
+(** Mean per-tree sum of [edge latency x summary bytes / window] — the
     in-network bandwidth-latency product of running this tree set, in
-    byte-seconds per second. *)
+    byte-seconds per second. Summary bytes default to [tuple_bytes];
+    when [op] is given and has a fixed-size partial
+    ({!Mortar_core.Op.state_wire_size}), its serialized cap is charged
+    instead — sketch queries pay their true fixed bytes, everything
+    else is unchanged. *)
 
 val fanout_cost :
-  model -> Mortar_net.Topology.t -> window:float -> root:int -> int list -> float
+  model ->
+  ?op:Mortar_core.Op.spec ->
+  Mortar_net.Topology.t ->
+  window:float ->
+  root:int ->
+  int list ->
+  float
 (** Cost of delivering one result per window from [root] to each
-    subscriber in the list ([root] itself is free). *)
+    subscriber in the list ([root] itself is free). [op] refines the
+    per-result bytes exactly as in {!treeset_cost}. *)
 
 val interior_load : Mortar_overlay.Treeset.t -> int list
 (** The hosts charged one operator slot by this tree set (sorted). *)

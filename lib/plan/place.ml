@@ -147,8 +147,8 @@ let choose ctx ~usage ?force_root g =
         ctx.n_evals <- ctx.n_evals + 1;
         let ts = build_treeset ctx g root in
         let cost =
-          Cost.treeset_cost ctx.model ctx.topo ~window:g.window ts
-          +. Cost.fanout_cost ctx.model ctx.topo ~window:g.window ~root subs
+          Cost.treeset_cost ctx.model ~op:g.op ctx.topo ~window:g.window ts
+          +. Cost.fanout_cost ctx.model ~op:g.op ctx.topo ~window:g.window ~root subs
         in
         (cost, root, ts))
       cands

@@ -33,6 +33,9 @@ let op_key = function
   | Op.Quantile { q; lo; hi; bins } -> Printf.sprintf "quant:%h:%h:%h:%d" q lo hi bins
   | Op.Custom { name; args } ->
     Printf.sprintf "custom:%s:%s" name (String.concat "," (List.map Value.show args))
+  | Op.Sketch_count_min { depth; width; seed } -> Printf.sprintf "cm:%d:%d:%d" depth width seed
+  | Op.Sketch_agms { rows; cols; seed } -> Printf.sprintf "agms:%d:%d:%d" rows cols seed
+  | Op.Sketch_hll { b; seed } -> Printf.sprintf "hll:%d:%d" b seed
 
 let canonical_key t =
   let b = Buffer.create 128 in

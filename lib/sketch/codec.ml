@@ -1,0 +1,45 @@
+type reader = { s : string; mutable pos : int }
+
+let reader s = { s; pos = 0 }
+
+let fail msg = failwith ("sketch: " ^ msg)
+
+let need r n = if r.pos + n > String.length r.s then fail "truncated sketch"
+
+let u8 r =
+  need r 1;
+  let v = String.get_uint8 r.s r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  need r 2;
+  let v = String.get_uint16_be r.s r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let i32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_be r.s r.pos) in
+  r.pos <- r.pos + 4;
+  v
+
+let i64 r =
+  need r 8;
+  let v64 = String.get_int64_be r.s r.pos in
+  r.pos <- r.pos + 8;
+  if Int64.compare v64 0L < 0 || Int64.compare v64 (Int64.of_int max_int) > 0 then
+    fail "seed out of range";
+  Int64.to_int v64
+
+let expect_end r = if r.pos <> String.length r.s then fail "trailing bytes"
+
+let put_u8 b v = Buffer.add_uint8 b v
+
+let put_u16 b v = Buffer.add_uint16_be b v
+
+let put_i32 b v =
+  if v > 0x7FFFFFFF || v < -0x7FFFFFFF - 1 then fail "cell overflows 32 bits"
+  else Buffer.add_int32_be b (Int32.of_int v)
+
+let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)

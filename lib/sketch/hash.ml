@@ -1,0 +1,31 @@
+(* Seeded mixing for sketches. The multiplier constants are the xorshift*
+   and rrmxmx finalizer constants, both odd and under 2^62 so they are
+   plain OCaml int literals; native-int multiplication wraps, which is
+   exactly the mod-2^63 arithmetic the finalizer wants. The sign bit is
+   cleared on the way out so reductions with [mod] stay non-negative. *)
+
+let[@lint.hot] mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x1B03738712FAD5C9 in
+  let x = x lxor (x lsr 31) in
+  x land max_int
+
+(* Weyl-style sequence step; any odd constant works, this one is the
+   64-bit golden ratio truncated into the int-literal range. *)
+let golden = 0x1E3779B97F4A7C15
+
+let[@lint.hot] hash_int ~seed v = mix (v lxor mix (seed + golden))
+
+let fnv_prime = 0x100000001B3
+
+let[@lint.hot] hash_str ~seed s =
+  let n = String.length s in
+  let h = ref (mix (seed + golden)) in
+  for i = 0 to n - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  mix !h
+
+let[@lint.hot] row_seed ~seed ~row = mix (seed + ((row + 1) * golden))

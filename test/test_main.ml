@@ -8,6 +8,7 @@ let () =
       ("cluster-coords", Test_cluster_coords.tests);
       ("overlay", Test_overlay.tests);
       ("core-data", Test_core_data.tests);
+      ("sketch", Test_sketch.tests);
       ("ts-list", Test_ts_list.tests);
       ("ts-list-diff", Test_ts_list_diff.tests);
       ("topology-equiv", Test_topology_equiv.tests);

@@ -157,6 +157,50 @@ let test_domains_identical_faultrun () =
   let b = run_scenario ~domains:4 ~faults:true () in
   check_identical "faulty" a b
 
+(* Sketch queries extend the contract: the packed partial bytes the
+   root delivers — not just the counts — must be identical across
+   domain counts. Count-Min serialization is a pure function of the
+   cell contents, so any merge-order divergence between shard
+   schedules would show up here as differing bytes. *)
+let run_sketch_scenario ~domains () =
+  let hosts = 48 in
+  let rng = Rng.create 2718 in
+  let topo = Topology.transit_stub rng ~hosts ~transits:3 ~stubs:6 () in
+  let d = D.create_sharded ~seed:2718 ~domains topo in
+  let nodes = Array.init (hosts - 1) (fun i -> i + 1) in
+  let treeset = D.plan_random d ~bf:8 ~root:0 ~nodes () in
+  let meta =
+    Mortar_core.Query.make_meta ~name:"par-cm" ~source:"vals"
+      ~op:(Mortar_core.Op.Sketch_count_min { depth = 4; width = 32; seed = 7 })
+      ~window:(Mortar_core.Window.tumbling 1.0) ~root:0 ~degree:2 ~total_nodes:hosts ()
+  in
+  for i = 0 to hosts - 1 do
+    D.sensor d ~node:i ~stream:"vals" ~period:0.25 (fun k ->
+        Mortar_core.Value.Int ((i * 13) + k mod 11))
+  done;
+  let results = ref [] in
+  Mortar_core.Peer.on_result (D.peer d 0) (fun (r : Mortar_core.Peer.result) ->
+      let packed =
+        match r.value with Mortar_core.Value.Str s -> s | _ -> "<not packed>"
+      in
+      results := (r.slot, r.count, Digest.to_hex (Digest.string packed)) :: !results);
+  D.at d 1.0 (fun () -> Mortar_core.Peer.install_query (D.peer d 0) meta treeset);
+  D.schedule_faults d
+    [
+      D.Link_loss
+        { src = [ 1; 2; 3 ]; dst = [ 0 ]; rate = 0.5; sym = true; from = 2.0; until = 6.0 };
+      D.Crash_recover { node = 5; at = 3.0; recover_at = 6.0 };
+    ];
+  D.run_until d 9.0;
+  List.rev !results
+
+let test_domains_identical_sketch () =
+  let a = run_sketch_scenario ~domains:1 () in
+  let b = run_sketch_scenario ~domains:4 () in
+  Alcotest.(check (list (triple int int string)))
+    "sketch: identical packed bytes" a b;
+  Alcotest.(check bool) "sketch: root got results" true (List.length a > 0)
+
 let tests =
   [
     Alcotest.test_case "stamped canonical order" `Quick test_stamped_order;
@@ -164,4 +208,6 @@ let tests =
     Alcotest.test_case "run_before strict bound" `Quick test_run_before_strict;
     Alcotest.test_case "1 vs 4 domains identical (clean)" `Quick test_domains_identical_cleanrun;
     Alcotest.test_case "1 vs 4 domains identical (faults)" `Quick test_domains_identical_faultrun;
+    Alcotest.test_case "1 vs 4 domains identical (sketch bytes)" `Quick
+      test_domains_identical_sketch;
   ]

@@ -172,6 +172,18 @@ let test_msl_quantile () =
     Alcotest.(check int) "default bins" 64 bins
   | _ -> Alcotest.fail "expected a quantile query"
 
+let test_msl_sketch_ops () =
+  (match Msl.parse {| q = cm(stream("s")) |} with
+  | [ Msl.Query_def { op = Op.Sketch_count_min { depth = 4; width = 256; seed = 7 }; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "expected a count-min query with defaults");
+  (match Msl.parse {| q = hll(stream("s"), b=9, seed=42) |} with
+  | [ Msl.Query_def { op = Op.Sketch_hll { b = 9; seed = 42 }; _ } ] -> ()
+  | _ -> Alcotest.fail "expected an hll query with overrides");
+  match Msl.parse {| q = agms(stream("s"), rows=3, cols=64) |} with
+  | [ Msl.Query_def { op = Op.Sketch_agms { rows = 3; cols = 64; seed = 7 }; _ } ] -> ()
+  | _ -> Alcotest.fail "expected an agms query"
+
 let test_msl_map () =
   match Msl.parse {| m = map(stream("s"), celsius=(value - 32) / 1.8) |} with
   | [ Msl.Derived_stream { pre = [ Expr.Map [ ("celsius", _) ] ]; _ } ] -> ()
@@ -241,6 +253,7 @@ let tests =
     Alcotest.test_case "msl tuple window" `Quick test_msl_tuple_window;
     Alcotest.test_case "msl striping clause" `Quick test_msl_striping_clause;
     Alcotest.test_case "msl quantile" `Quick test_msl_quantile;
+    Alcotest.test_case "msl sketch ops" `Quick test_msl_sketch_ops;
     Alcotest.test_case "msl map" `Quick test_msl_map;
     Alcotest.test_case "msl comments" `Quick test_msl_comments_and_whitespace;
     Alcotest.test_case "msl errors" `Quick test_msl_errors;
